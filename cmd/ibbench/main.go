@@ -1,0 +1,199 @@
+// Command ibbench regenerates the paper's evaluation artifacts.
+//
+//	ibbench -exp fig3   -switches 16          # Figure 3 panel
+//	ibbench -exp table1 -links 4 -mr 2        # Table 1 rows
+//	ibbench -exp table1 -links 6 -mr 4 -scale full
+//	ibbench -exp table2 -links 4 -mr 4        # Table 2 census
+//	ibbench -exp all                          # everything at quick scale
+//
+// The -scale presets (quick, full) can be overridden field by field
+// with -sizes, -topos, -loads, -measure, -warmup, -load-lo, -load-hi,
+// -sizes-bytes and -patterns. Output is tab-separated text with #
+// comment headers, directly gnuplot-able; EXPERIMENTS.md records
+// reference outputs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ibasim/internal/experiments"
+	"ibasim/internal/sim"
+)
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parsePatterns(s string) ([]experiments.PatternSpec, error) {
+	var out []experiments.PatternSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		switch {
+		case part == "":
+		case part == "uniform" || part == "bit-reversal":
+			out = append(out, experiments.PatternSpec{Kind: part})
+		case strings.HasPrefix(part, "hot-spot:"):
+			f, err := strconv.ParseFloat(strings.TrimPrefix(part, "hot-spot:"), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad hot-spot fraction in %q", part)
+			}
+			out = append(out, experiments.PatternSpec{Kind: "hot-spot", Fraction: f})
+		default:
+			return nil, fmt.Errorf("unknown pattern %q", part)
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig3, table1, table2, motivation, all")
+	scaleName := flag.String("scale", "quick", "preset: quick or full")
+	switches := flag.Int("switches", 16, "fig3: network size")
+	links := flag.Int("links", 4, "inter-switch links per switch")
+	mr := flag.Int("mr", 2, "routing options per destination")
+	sizes := flag.String("sizes", "", "override: network sizes, e.g. 8,16,32,64")
+	topos := flag.Int("topos", 0, "override: topologies per configuration")
+	loadPoints := flag.Int("loads", 0, "override: load points per sweep")
+	warmup := flag.Int64("warmup", 0, "override: warm-up ns")
+	measure := flag.Int64("measure", 0, "override: measurement window ns")
+	loadLo := flag.Float64("load-lo", 0, "override: lowest per-host load (bytes/ns)")
+	loadHi := flag.Float64("load-hi", 0, "override: highest per-host load (bytes/ns)")
+	pktSizes := flag.String("bytes", "", "override: packet sizes, e.g. 32,256")
+	patterns := flag.String("patterns", "", "table1 patterns: uniform,bit-reversal,hot-spot:0.1,...")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "ibbench:", err)
+		os.Exit(1)
+	}
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "full":
+		sc = experiments.FullScale()
+	default:
+		fail(fmt.Errorf("unknown scale %q", *scaleName))
+	}
+	if *sizes != "" {
+		v, err := parseInts(*sizes)
+		if err != nil {
+			fail(err)
+		}
+		sc.Sizes = v
+	}
+	if *topos > 0 {
+		sc.Topologies = *topos
+	}
+	if *loadPoints > 0 {
+		sc.LoadPoints = *loadPoints
+	}
+	if *warmup > 0 {
+		sc.Warmup = sim.Time(*warmup)
+	}
+	if *measure > 0 {
+		sc.Measure = sim.Time(*measure)
+		sc.DrainGrace = sim.Time(*measure / 5)
+	}
+	if *loadLo > 0 {
+		sc.LoadLo = *loadLo
+	}
+	if *loadHi > 0 {
+		sc.LoadHi = *loadHi
+	}
+	if *pktSizes != "" {
+		v, err := parseInts(*pktSizes)
+		if err != nil {
+			fail(err)
+		}
+		sc.PacketSizes = v
+	}
+	pats := []experiments.PatternSpec{{Kind: "uniform"}}
+	if *scaleName == "full" {
+		pats = experiments.Table1Patterns
+	}
+	if *patterns != "" {
+		v, err := parsePatterns(*patterns)
+		if err != nil {
+			fail(err)
+		}
+		pats = v
+	}
+
+	runFig3 := func(size int) {
+		res, err := experiments.Figure3(sc, size)
+		if err != nil {
+			fail(err)
+		}
+		if err := res.Write(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+	runTable1 := func(links, mr int) {
+		rows, err := experiments.Table1(sc, links, mr, pats, sc.PacketSizes)
+		if err != nil {
+			fail(err)
+		}
+		if err := experiments.WriteTable1(os.Stdout, rows); err != nil {
+			fail(err)
+		}
+	}
+	runTable2 := func(links, maxMR int) {
+		rows, err := experiments.Table2(sc, links, maxMR)
+		if err != nil {
+			fail(err)
+		}
+		if err := experiments.WriteTable2(os.Stdout, rows); err != nil {
+			fail(err)
+		}
+	}
+
+	runMotivation := func() {
+		rows, err := experiments.Motivation(sc)
+		if err != nil {
+			fail(err)
+		}
+		if err := experiments.WriteMotivation(os.Stdout, rows); err != nil {
+			fail(err)
+		}
+	}
+
+	switch *exp {
+	case "fig3":
+		runFig3(*switches)
+	case "motivation":
+		runMotivation()
+	case "table1":
+		runTable1(*links, *mr)
+	case "table2":
+		runTable2(*links, *mr)
+	case "all":
+		fmt.Println("== Figure 3 ==")
+		runFig3(*switches)
+		fmt.Println("\n== Table 1 (4 links, MR 2) ==")
+		runTable1(4, 2)
+		fmt.Println("\n== Table 2 (4 links) ==")
+		runTable2(4, 4)
+		fmt.Println("\n== Table 2 (6 links) ==")
+		runTable2(6, 4)
+	default:
+		fail(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}

@@ -1,0 +1,89 @@
+// Command ibsim runs one InfiniBand subnet simulation and prints the
+// paper's observables: offered and accepted traffic (bytes/ns/switch)
+// and average packet latency (ns).
+//
+// Examples:
+//
+//	ibsim -switches 16 -load 0.02
+//	ibsim -switches 64 -links 6 -mr 4 -adaptive-frac 1 -pattern hot-spot -hotspot 0.10
+//	ibsim -plain -adaptive-frac 0        # stock deterministic subnet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ibasim"
+)
+
+func main() {
+	cfg := ibasim.DefaultConfig()
+	flag.IntVar(&cfg.Switches, "switches", cfg.Switches, "number of switches")
+	flag.IntVar(&cfg.HostsPerSwitch, "hosts", cfg.HostsPerSwitch, "hosts per switch")
+	flag.IntVar(&cfg.LinksPerSwitch, "links", cfg.LinksPerSwitch, "inter-switch links per switch (4 or 6 in the paper)")
+	flag.Uint64Var(&cfg.TopologySeed, "topo-seed", cfg.TopologySeed, "topology generation seed")
+	flag.IntVar(&cfg.RoutingOptions, "mr", cfg.RoutingOptions, "routing options per destination (1 escape + MR-1 adaptive)")
+	plain := flag.Bool("plain", false, "use stock deterministic switches (baseline)")
+	flag.StringVar(&cfg.Pattern, "pattern", cfg.Pattern, "traffic pattern: uniform, bit-reversal, hot-spot")
+	flag.Float64Var(&cfg.HotSpotFraction, "hotspot", 0.10, "hot-spot traffic share (with -pattern hot-spot)")
+	flag.IntVar(&cfg.PacketSize, "size", cfg.PacketSize, "packet size in bytes")
+	flag.Float64Var(&cfg.AdaptiveFraction, "adaptive-frac", cfg.AdaptiveFraction, "fraction of packets requesting adaptive routing")
+	flag.Float64Var(&cfg.Load, "load", cfg.Load, "offered load per host, bytes/ns")
+	flag.Int64Var(&cfg.WarmupNs, "warmup", cfg.WarmupNs, "warm-up time, ns")
+	flag.Int64Var(&cfg.MeasureNs, "measure", cfg.MeasureNs, "measurement window, ns")
+	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "traffic/selection seed")
+	traceN := flag.Int("trace", 0, "record and print the last N packet lifecycle events")
+	sweep := flag.Bool("sweep", false, "sweep offered load and print the full curve")
+	loadLo := flag.Float64("load-lo", 0.002, "sweep: lowest per-host load")
+	loadHi := flag.Float64("load-hi", 0.20, "sweep: highest per-host load")
+	loadN := flag.Int("load-n", 10, "sweep: number of load points")
+	flag.Parse()
+
+	cfg.AdaptiveSwitches = !*plain
+
+	if *sweep {
+		pts, err := ibasim.Sweep(cfg, ibasim.Loads(*loadLo, *loadHi, *loadN))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ibsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# offered\taccepted\tavg-latency-ns\n")
+		for _, p := range pts {
+			fmt.Printf("%.5f\t%.5f\t%.0f\n", p.Offered, p.Accepted, p.AvgLatency)
+		}
+		fmt.Printf("# saturation throughput: %.5f bytes/ns/switch\n", ibasim.Throughput(pts))
+		return
+	}
+
+	var res ibasim.Result
+	if *traceN > 0 {
+		traced, err := ibasim.SimulateTraced(cfg, *traceN, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ibsim:", err)
+			os.Exit(1)
+		}
+		res = traced.Result
+		fmt.Printf("adaptive hops:   %.1f%% of %d forwarding decisions\n",
+			traced.AdaptiveShare*100, traced.EventsRecorded)
+	} else {
+		r, err := ibasim.Simulate(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ibsim:", err)
+			os.Exit(1)
+		}
+		res = r
+	}
+	mode := "enhanced (adaptive)"
+	if *plain {
+		mode = "stock (deterministic)"
+	}
+	fmt.Printf("switches:        %d (%d links/switch, %d hosts/switch)\n",
+		cfg.Switches, cfg.LinksPerSwitch, cfg.HostsPerSwitch)
+	fmt.Printf("switch mode:     %s, MR=%d\n", mode, cfg.RoutingOptions)
+	fmt.Printf("workload:        %s, %d B packets, %.0f%% adaptive\n",
+		cfg.Pattern, cfg.PacketSize, cfg.AdaptiveFraction*100)
+	fmt.Printf("offered traffic: %.5f bytes/ns/switch\n", res.OfferedPerSwitch)
+	fmt.Printf("accepted:        %.5f bytes/ns/switch\n", res.AcceptedPerSwitch)
+	fmt.Printf("avg latency:     %.0f ns over %d packets\n", res.AvgLatencyNs, res.PacketsMeasured)
+}

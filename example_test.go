@@ -1,0 +1,83 @@
+package ibasim_test
+
+import (
+	"fmt"
+	"os"
+
+	"ibasim"
+)
+
+// The simplest use: simulate one workload and read the paper's two
+// observables.
+func ExampleSimulate() {
+	cfg := ibasim.DefaultConfig()
+	cfg.Switches = 8
+	cfg.Load = 0.01
+
+	res, err := ibasim.Simulate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("accepted traffic: %.4f bytes/ns/switch\n", res.AcceptedPerSwitch)
+	fmt.Printf("average latency:  %.0f ns\n", res.AvgLatencyNs)
+}
+
+// Sweeping offered load yields the latency/accepted-traffic curves of
+// the paper's Figure 3; Throughput reads the saturation plateau.
+func ExampleSweep() {
+	cfg := ibasim.DefaultConfig()
+	points, err := ibasim.Sweep(cfg, ibasim.Loads(0.005, 0.2, 6))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("saturation throughput: %.4f bytes/ns/switch\n", ibasim.Throughput(points))
+}
+
+// CompareRouting runs the paper's headline experiment: enhanced
+// switches carrying fully adaptive traffic versus a stock
+// deterministic subnet, on the same topology and workload.
+func ExampleCompareRouting() {
+	cfg := ibasim.DefaultConfig()
+	cfg.Switches = 16
+
+	cmp, err := ibasim.CompareRouting(cfg, ibasim.Loads(0.005, 0.25, 6))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("throughput factor: %.2f\n", cmp.Factor)
+}
+
+// The source-selected multipath baseline of §1: plain switches, the
+// source picks one of several deterministic paths per packet.
+func ExampleConfig_sourceMultipath() {
+	cfg := ibasim.DefaultConfig()
+	cfg.AdaptiveSwitches = false
+	cfg.AdaptiveFraction = 0
+	cfg.SourceMultipath = 2
+
+	res, err := ibasim.Simulate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("accepted: %.4f\n", res.AcceptedPerSwitch)
+}
+
+// SimulateTraced dumps packet lifecycle events — handy for seeing how
+// often the adaptive options actually win over the escape path.
+func ExampleSimulateTraced() {
+	cfg := ibasim.DefaultConfig()
+	cfg.Switches = 8
+
+	res, err := ibasim.SimulateTraced(cfg, 0, nil) // aggregates only
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("adaptive forwarding share: %.0f%%\n", res.AdaptiveShare*100)
+}
+
+// The experiment harnesses regenerate the paper's tables directly.
+func ExampleRunTable2() {
+	if err := ibasim.RunTable2(ibasim.Quick, 4, 2, os.Stdout); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,38 @@
+// In-order delivery over adaptive routing: §1 of the paper notes that
+// adaptive routing sacrifices in-order delivery, and that ordered
+// traffic could still use it "if packets were reordered at the
+// destination host before being delivered". This example measures
+// that trade as load rises: how many deliveries arrive out of order,
+// and what a destination reorder buffer needs (peak occupancy, extra
+// delay) to hide it. Run with:
+//
+//	go run ./examples/inorder_over_adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ibasim"
+)
+
+func main() {
+	fmt.Println("16 switches, 100% adaptive, uniform 32 B packets:")
+	fmt.Printf("%-10s %-12s %-14s %-14s %-12s\n",
+		"load", "accepted", "out-of-order", "reorder-peak", "added-ns")
+	for _, load := range []float64{0.01, 0.05, 0.10, 0.15} {
+		cfg := ibasim.DefaultConfig()
+		cfg.Load = load
+		res, err := ibasim.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10.2f %-12.4f %-14s %-14d %-12.0f\n",
+			load, res.AcceptedPerSwitch,
+			fmt.Sprintf("%.2f%%", res.OutOfOrderFraction*100),
+			res.ReorderPeakHeld, res.ReorderAvgDelayNs)
+	}
+	fmt.Println("\nBelow saturation almost everything arrives in order (minimal paths")
+	fmt.Println("have equal length); near saturation escape detours reorder flows and")
+	fmt.Println("the destination buffer pays for restoring sequence order.")
+}

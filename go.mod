@@ -1,0 +1,3 @@
+module ibasim
+
+go 1.22

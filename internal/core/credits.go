@@ -1,0 +1,68 @@
+package core
+
+import "fmt"
+
+// CreditSplit implements §4.4's division of one VL's credit count into
+// the adaptive and escape logical queues. CMax is the total buffer
+// capacity in credits; CEscape is the escape queue's reserve (the
+// paper uses CMax/2, which SplitHalf constructs; other splits are
+// supported for the ablation study).
+type CreditSplit struct {
+	CMax    int
+	CEscape int
+}
+
+// SplitHalf returns the paper's equal split ("if the buffer associated
+// to a VL is divided into two equally sized queues").
+func SplitHalf(cMax int) CreditSplit { return CreditSplit{CMax: cMax, CEscape: cMax / 2} }
+
+// NewCreditSplit validates a custom split.
+func NewCreditSplit(cMax, cEscape int) (CreditSplit, error) {
+	if cMax <= 0 || cEscape <= 0 || cEscape >= cMax {
+		return CreditSplit{}, fmt.Errorf("core: invalid credit split cmax=%d cescape=%d", cMax, cEscape)
+	}
+	return CreditSplit{CMax: cMax, CEscape: cEscape}, nil
+}
+
+// CAdaptiveCap returns the adaptive queue's capacity in credits.
+func (s CreditSplit) CAdaptiveCap() int { return s.CMax - s.CEscape }
+
+// Adaptive returns C_XYA, the credits available in the adaptive queue
+// when the VL as a whole has c credits available:
+//
+//	C_XYA = max(0, C_XY − C_0)
+//
+// with C_0 the escape reserve (CMax/2 in the paper).
+func (s CreditSplit) Adaptive(c int) int {
+	a := c - s.CEscape
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// Escape returns C_XYE, the credits available in the escape queue:
+//
+//	C_XYE = min(C_0, C_XY)
+func (s CreditSplit) Escape(c int) int {
+	if c < s.CEscape {
+		return c
+	}
+	return s.CEscape
+}
+
+// CanUseAdaptive reports whether a packet of pktCredits may be sent
+// through an *adaptive* routing option: the adaptive queue of the
+// next-hop VL must be able to hold the entire packet (§4.4's deadlock
+// condition, combined with VCT's whole-packet buffering).
+func (s CreditSplit) CanUseAdaptive(c, pktCredits int) bool {
+	return s.Adaptive(c) >= pktCredits
+}
+
+// CanUseEscape reports whether a packet of pktCredits may be sent
+// through the escape routing option: the paper allows this whenever
+// the VL has room for the whole packet — the packet lands in the
+// adaptive or escape region depending on occupancy.
+func (s CreditSplit) CanUseEscape(c, pktCredits int) bool {
+	return c >= pktCredits
+}

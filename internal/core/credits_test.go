@@ -1,0 +1,196 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ibasim/internal/sim"
+)
+
+func TestSplitHalf(t *testing.T) {
+	s := SplitHalf(16)
+	if s.CEscape != 8 || s.CAdaptiveCap() != 8 {
+		t.Fatalf("SplitHalf(16) = %+v", s)
+	}
+}
+
+func TestNewCreditSplitValidation(t *testing.T) {
+	for _, c := range []struct{ cmax, cesc int }{{0, 0}, {8, 0}, {8, 8}, {8, 9}, {-1, -2}} {
+		if _, err := NewCreditSplit(c.cmax, c.cesc); err == nil {
+			t.Fatalf("split %+v accepted", c)
+		}
+	}
+	if _, err := NewCreditSplit(16, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreditFormulasMatchPaper(t *testing.T) {
+	// C_XYA = max(0, C - Cmax/2); C_XYE = min(Cmax/2, C), Cmax = 16.
+	s := SplitHalf(16)
+	cases := []struct{ c, wantA, wantE int }{
+		{16, 8, 8}, // empty buffer
+		{12, 4, 8},
+		{8, 0, 8}, // adaptive region exactly full
+		{5, 0, 5},
+		{0, 0, 0}, // buffer full
+	}
+	for _, c := range cases {
+		if got := s.Adaptive(c.c); got != c.wantA {
+			t.Errorf("Adaptive(%d) = %d, want %d", c.c, got, c.wantA)
+		}
+		if got := s.Escape(c.c); got != c.wantE {
+			t.Errorf("Escape(%d) = %d, want %d", c.c, got, c.wantE)
+		}
+	}
+}
+
+// TestCreditSplitInvariants: for any occupancy, the two logical queues
+// partition the available credits: A + E == C, 0 <= A <= Cmax-C0,
+// 0 <= E <= C0.
+func TestCreditSplitInvariants(t *testing.T) {
+	f := func(cmaxRaw, cescRaw, cRaw uint8) bool {
+		cmax := int(cmaxRaw%63) + 2
+		cesc := int(cescRaw)%(cmax-1) + 1
+		s, err := NewCreditSplit(cmax, cesc)
+		if err != nil {
+			return false
+		}
+		c := int(cRaw) % (cmax + 1)
+		a, e := s.Adaptive(c), s.Escape(c)
+		if a+e != c {
+			return false
+		}
+		if a < 0 || a > s.CAdaptiveCap() {
+			return false
+		}
+		return e >= 0 && e <= s.CEscape
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanUseAdaptiveRequiresAdaptiveRoom(t *testing.T) {
+	s := SplitHalf(16)
+	// Packet of 4 credits: adaptive region must have >= 4 free.
+	if !s.CanUseAdaptive(16, 4) {
+		t.Fatal("empty buffer rejected adaptive")
+	}
+	if !s.CanUseAdaptive(12, 4) {
+		t.Fatal("12 credits free (4 adaptive) rejected adaptive 4-credit packet")
+	}
+	if s.CanUseAdaptive(11, 4) {
+		t.Fatal("11 credits free (3 adaptive) accepted adaptive 4-credit packet")
+	}
+	if s.CanUseAdaptive(8, 1) {
+		t.Fatal("full adaptive region accepted adaptive packet")
+	}
+}
+
+func TestCanUseEscapeRequiresTotalRoom(t *testing.T) {
+	s := SplitHalf(16)
+	if !s.CanUseEscape(4, 4) {
+		t.Fatal("4 free credits rejected a 4-credit escape packet")
+	}
+	if s.CanUseEscape(3, 4) {
+		t.Fatal("3 free credits accepted a 4-credit escape packet")
+	}
+	// Escape option usable even when only adaptive-region space is
+	// left (§4.4: the packet lands wherever there is room).
+	if !s.CanUseEscape(16, 4) {
+		t.Fatal("empty buffer rejected escape")
+	}
+}
+
+func TestAdaptiveStricterThanEscape(t *testing.T) {
+	// Whenever the adaptive condition holds, the escape condition
+	// holds too (adaptive credits are a subset of total credits).
+	f := func(cRaw, pktRaw uint8) bool {
+		s := SplitHalf(16)
+		c := int(cRaw) % 17
+		pkt := int(pktRaw)%8 + 1
+		if s.CanUseAdaptive(c, pkt) && !s.CanUseEscape(c, pkt) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPickAdaptiveStatusAware(t *testing.T) {
+	cfg := SelectionConfig{AtArbitration: true, StatusAware: true}
+	cands := []Candidate{
+		{Port: 1, Eligible: true, AdaptiveCredits: 2},
+		{Port: 2, Eligible: true, AdaptiveCredits: 7},
+		{Port: 3, Eligible: false, AdaptiveCredits: 99},
+	}
+	if got := PickAdaptive(cfg, cands, sim.NewRNG(1)); got != 1 {
+		t.Fatalf("PickAdaptive = %d, want 1 (most credits among eligible)", got)
+	}
+}
+
+func TestPickAdaptiveNoneEligible(t *testing.T) {
+	for _, aware := range []bool{true, false} {
+		cfg := SelectionConfig{StatusAware: aware}
+		cands := []Candidate{{Port: 1}, {Port: 2}}
+		if got := PickAdaptive(cfg, cands, sim.NewRNG(1)); got != -1 {
+			t.Fatalf("aware=%v: PickAdaptive = %d, want -1", aware, got)
+		}
+	}
+}
+
+func TestPickAdaptiveStaticUniform(t *testing.T) {
+	cfg := SelectionConfig{StatusAware: false}
+	cands := []Candidate{
+		{Port: 1, Eligible: true},
+		{Port: 2, Eligible: true},
+		{Port: 3, Eligible: true},
+	}
+	rng := sim.NewRNG(3)
+	counts := map[int]int{}
+	for i := 0; i < 3000; i++ {
+		counts[PickAdaptive(cfg, cands, rng)]++
+	}
+	for i := 0; i < 3; i++ {
+		if counts[i] < 800 || counts[i] > 1200 {
+			t.Fatalf("static pick skewed: %v", counts)
+		}
+	}
+}
+
+func TestPickAdaptiveTieBreaksToFirst(t *testing.T) {
+	cfg := SelectionConfig{StatusAware: true}
+	cands := []Candidate{
+		{Port: 4, Eligible: true, AdaptiveCredits: 5},
+		{Port: 5, Eligible: true, AdaptiveCredits: 5},
+	}
+	if got := PickAdaptive(cfg, cands, sim.NewRNG(1)); got != 0 {
+		t.Fatalf("tie pick = %d, want 0 (table order)", got)
+	}
+}
+
+func TestPickStatic(t *testing.T) {
+	if got := PickStatic(nil, sim.NewRNG(1)); got != -1 {
+		t.Fatalf("PickStatic(nil) = %d, want -1", got)
+	}
+	cands := []Candidate{{Port: 1}, {Port: 2}}
+	rng := sim.NewRNG(5)
+	for i := 0; i < 100; i++ {
+		got := PickStatic(cands, rng)
+		if got < 0 || got > 1 {
+			t.Fatalf("PickStatic out of range: %d", got)
+		}
+	}
+}
+
+func TestSelectionConfigString(t *testing.T) {
+	if s := DefaultSelection().String(); s != "arbitration/status-aware" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := (SelectionConfig{}).String(); s != "immediate/static" {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"ibasim/internal/ib"
+	"ibasim/internal/sim"
+)
+
+// SelectionConfig captures the two design axes of §4.3 for choosing
+// the final output port among the options a Lookup returns:
+//
+//   - AtArbitration: when true, the choice is (re-)made each time the
+//     switch arbitrates, using up-to-date port status (the paper notes
+//     this "may lead to better performance"); when false, the choice
+//     is made once, immediately after the forwarding-table access, and
+//     the packet then waits for that specific port.
+//   - StatusAware: when true, the switch prefers the option whose
+//     next-hop adaptive queue has the most free credits ("selecting
+//     the output port with more buffer space"); when false, the
+//     selection is static (pseudo-random among the options).
+type SelectionConfig struct {
+	AtArbitration bool
+	StatusAware   bool
+}
+
+// DefaultSelection is the configuration the paper's evaluation uses:
+// "the output port is selected at arbitration time considering the
+// status of the requested output ports and the number of credits
+// available" (§5.1).
+func DefaultSelection() SelectionConfig {
+	return SelectionConfig{AtArbitration: true, StatusAware: true}
+}
+
+func (c SelectionConfig) String() string {
+	when, how := "immediate", "static"
+	if c.AtArbitration {
+		when = "arbitration"
+	}
+	if c.StatusAware {
+		how = "status-aware"
+	}
+	return fmt.Sprintf("%s/%s", when, how)
+}
+
+// Candidate is one adaptive routing option presented to the selector.
+type Candidate struct {
+	Port ib.PortID
+	// Eligible means the option can be used right now: the output
+	// link is free and the next-hop VL's adaptive queue has room for
+	// the whole packet (CreditSplit.CanUseAdaptive).
+	Eligible bool
+	// AdaptiveCredits is C_XYA at the next hop, the status signal a
+	// status-aware selector maximizes.
+	AdaptiveCredits int
+}
+
+// PickAdaptive chooses among adaptive candidates and returns the index
+// of the winner, or -1 when no candidate is eligible. Status-aware
+// selection takes the eligible option with the most free adaptive
+// credits (ties to the first in table order, matching the
+// lowest-address option); static selection picks uniformly at random
+// among eligible options.
+func PickAdaptive(cfg SelectionConfig, cands []Candidate, rng *sim.RNG) int {
+	if cfg.StatusAware {
+		best, bestCredits := -1, -1
+		for i, c := range cands {
+			if c.Eligible && c.AdaptiveCredits > bestCredits {
+				best, bestCredits = i, c.AdaptiveCredits
+			}
+		}
+		return best
+	}
+	eligible := make([]int, 0, len(cands))
+	for i, c := range cands {
+		if c.Eligible {
+			eligible = append(eligible, i)
+		}
+	}
+	if len(eligible) == 0 {
+		return -1
+	}
+	return eligible[rng.Intn(len(eligible))]
+}
+
+// PickStatic chooses an option without any status information, for
+// immediate selection at routing time (§4.3's simplest variant): a
+// uniform pick over all options, eligible or not — the packet will
+// wait for the chosen port if it is busy.
+func PickStatic(cands []Candidate, rng *sim.RNG) int {
+	if len(cands) == 0 {
+		return -1
+	}
+	return rng.Intn(len(cands))
+}

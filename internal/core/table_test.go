@@ -1,0 +1,209 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ibasim/internal/ib"
+)
+
+// plan2 returns a standard test fixture: 16 hosts, LMC 2 (4 routing
+// options), and an AdaptiveTable sized for the plan.
+func plan2(t *testing.T) (*ib.AddressPlan, *AdaptiveTable) {
+	t.Helper()
+	plan, err := ib.NewAddressPlan(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := NewAdaptiveTable(plan.MaxLID(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, tab
+}
+
+func TestAdaptiveTableRejectsBigLMC(t *testing.T) {
+	if _, err := NewAdaptiveTable(100, ib.MaxLMC+1); err == nil {
+		t.Fatal("LMC 8 accepted")
+	}
+}
+
+func TestLookupDeterministicReturnsOnlyEscape(t *testing.T) {
+	plan, tab := plan2(t)
+	base := plan.BaseLID(3)
+	for off, port := range []ib.PortID{7, 2, 3, 4} {
+		if err := tab.Set(base+ib.LID(off), port); err != nil {
+			t.Fatal(err)
+		}
+	}
+	escape, adaptive, err := tab.Lookup(plan.DLIDFor(3, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if escape != 7 {
+		t.Fatalf("escape = %d, want 7", escape)
+	}
+	if adaptive != nil {
+		t.Fatalf("deterministic lookup returned adaptive options %v", adaptive)
+	}
+}
+
+func TestLookupAdaptiveReturnsAllOptions(t *testing.T) {
+	plan, tab := plan2(t)
+	base := plan.BaseLID(3)
+	for off, port := range []ib.PortID{7, 2, 3, 4} {
+		if err := tab.Set(base+ib.LID(off), port); err != nil {
+			t.Fatal(err)
+		}
+	}
+	escape, adaptive, err := tab.Lookup(plan.DLIDFor(3, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if escape != 7 {
+		t.Fatalf("escape = %d, want 7", escape)
+	}
+	want := []ib.PortID{2, 3, 4}
+	if len(adaptive) != len(want) {
+		t.Fatalf("adaptive = %v, want %v", adaptive, want)
+	}
+	for i := range want {
+		if adaptive[i] != want[i] {
+			t.Fatalf("adaptive = %v, want %v", adaptive, want)
+		}
+	}
+}
+
+func TestLookupAnyAddressInBlockSameResult(t *testing.T) {
+	// Any adaptive-bit address of the block routes with the full
+	// option set; the table access is keyed on the aligned base.
+	plan, tab := plan2(t)
+	base := plan.BaseLID(5)
+	for off, port := range []ib.PortID{1, 2, 3, 4} {
+		if err := tab.Set(base+ib.LID(off), port); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e1, a1, err := tab.Lookup(base + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, a2, err := tab.Lookup(base + 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 || len(a1) != len(a2) {
+		t.Fatalf("block addresses disagree: (%v,%v) vs (%v,%v)", e1, a1, e2, a2)
+	}
+}
+
+func TestLookupDeduplicatesAdaptiveSlots(t *testing.T) {
+	// The subnet manager cycle-fills unused slots, so duplicates among
+	// adaptive slots collapse; a port equal to the escape port stays,
+	// because the adaptive queue of the escape link is a distinct
+	// routing option.
+	plan, tab := plan2(t)
+	base := plan.BaseLID(2)
+	for off, port := range []ib.PortID{9, 9, 5, 5} {
+		if err := tab.Set(base+ib.LID(off), port); err != nil {
+			t.Fatal(err)
+		}
+	}
+	escape, adaptive, err := tab.Lookup(plan.DLIDFor(2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if escape != 9 {
+		t.Fatalf("escape = %d, want 9", escape)
+	}
+	if len(adaptive) != 2 || adaptive[0] != 9 || adaptive[1] != 5 {
+		t.Fatalf("adaptive = %v, want [9 5]", adaptive)
+	}
+}
+
+func TestLookupSkipsUnprogrammedOptionSlots(t *testing.T) {
+	plan, tab := plan2(t)
+	base := plan.BaseLID(4)
+	if err := tab.Set(base, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Set(base+1, 6); err != nil {
+		t.Fatal(err)
+	}
+	// Slots base+2, base+3 left invalid.
+	escape, adaptive, err := tab.Lookup(plan.DLIDFor(4, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if escape != 5 || len(adaptive) != 1 || adaptive[0] != 6 {
+		t.Fatalf("lookup = (%d, %v), want (5, [6])", escape, adaptive)
+	}
+}
+
+func TestLookupUnprogrammedBaseErrors(t *testing.T) {
+	plan, tab := plan2(t)
+	if _, _, err := tab.Lookup(plan.BaseLID(7)); err == nil {
+		t.Fatal("lookup of unprogrammed destination succeeded")
+	}
+}
+
+func TestLMCZeroTableActsLinear(t *testing.T) {
+	plan, err := ib.NewAddressPlan(16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := NewAdaptiveTable(plan.MaxLID(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Set(plan.BaseLID(0), 4); err != nil {
+		t.Fatal(err)
+	}
+	escape, adaptive, err := tab.Lookup(plan.BaseLID(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if escape != 4 || adaptive != nil {
+		t.Fatalf("LMC0 lookup = (%d,%v), want (4,nil)", escape, adaptive)
+	}
+}
+
+// TestLinearViewEquivalence is the Figure-1 compatibility property:
+// the subnet manager's linear view (Get) and the enhanced lookup see
+// the same stored ports, for arbitrary programming sequences.
+func TestLinearViewEquivalence(t *testing.T) {
+	plan, tab := plan2(t)
+	f := func(hostRaw uint8, ports [4]uint8) bool {
+		host := int(hostRaw) % 16
+		base := plan.BaseLID(host)
+		for off := 0; off < 4; off++ {
+			if tab.Set(base+ib.LID(off), ib.PortID(ports[off]%8)) != nil {
+				return false
+			}
+		}
+		// Linear view returns exactly what was stored.
+		for off := 0; off < 4; off++ {
+			if tab.Get(base+ib.LID(off)) != ib.PortID(ports[off]%8) {
+				return false
+			}
+		}
+		// Enhanced view: escape = slot 0; adaptive ⊆ slots 1..3.
+		escape, adaptive, err := tab.Lookup(base + 1)
+		if err != nil || escape != ib.PortID(ports[0]%8) {
+			return false
+		}
+		stored := map[ib.PortID]bool{}
+		for off := 1; off < 4; off++ {
+			stored[ib.PortID(ports[off]%8)] = true
+		}
+		for _, p := range adaptive {
+			if !stored[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

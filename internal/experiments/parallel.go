@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// runParallel executes n independent jobs on a bounded worker pool and
+// returns their results in job order. Each simulation owns its engine
+// and RNG streams, so concurrent runs stay bit-identical to sequential
+// ones; only wall-clock time changes. The first error wins and is
+// returned after all workers stop.
+func runParallel[T any](n int, job func(i int) (T, error)) ([]T, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		out := make([]T, n)
+		for i := 0; i < n; i++ {
+			v, err := job(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	out := make([]T, n)
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i], errs[i] = job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

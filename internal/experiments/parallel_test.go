@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"errors"
+	"testing"
+
+	"ibasim/internal/topology"
+	"ibasim/internal/traffic"
+)
+
+func TestRunParallelOrderAndValues(t *testing.T) {
+	out, err := runParallel(50, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestRunParallelPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := runParallel(20, func(i int) (int, error) {
+		if i == 13 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunParallelZeroJobs(t *testing.T) {
+	out, err := runParallel(0, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out = %v, err = %v", out, err)
+	}
+}
+
+// TestLoadSweepParallelMatchesSequential: the pool must not change
+// results — every simulation is self-contained and deterministic.
+func TestLoadSweepParallelMatchesSequential(t *testing.T) {
+	sc := tinyScale()
+	topo := topology.MustGenerateIrregular(topology.IrregularSpec{
+		NumSwitches: 8, HostsPerSwitch: 4, InterSwitch: 4, Seed: 4,
+	})
+	spec := sc.Spec(topo, 2, 32, 1, traffic.Uniform{NumHosts: topo.NumHosts()}, 3, true)
+	loads := []float64{0.005, 0.02, 0.05}
+	a, err := LoadSweep(spec, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential reference.
+	var b []SweepPoint
+	for _, l := range loads {
+		s := spec
+		s.Traffic.LoadBytesPerNsPerHost = l
+		res, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b = append(b, SweepPoint{Offered: res.OfferedPerSwitch, Accepted: res.AcceptedPerSwitch, AvgLatency: res.AvgLatencyNs})
+	}
+	for i := range loads {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs: parallel %+v vs sequential %+v", i, a[i], b[i])
+		}
+	}
+}

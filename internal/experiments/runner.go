@@ -1,0 +1,260 @@
+// Package experiments regenerates the paper's evaluation artifacts:
+// the latency/accepted-traffic curves of Figure 3, the
+// throughput-increase factors of Table 1, and the routing-option
+// census of Table 2. Each harness prints the same rows/series the
+// paper reports; EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"ibasim/internal/fabric"
+	"ibasim/internal/ib"
+	"ibasim/internal/metrics"
+	"ibasim/internal/reorder"
+	"ibasim/internal/sim"
+	"ibasim/internal/subnet"
+	"ibasim/internal/topology"
+	"ibasim/internal/traffic"
+)
+
+// RunSpec describes one simulation run.
+type RunSpec struct {
+	Topo *topology.Topology
+
+	// LMC and MR configure the addressing plan and table contents.
+	LMC uint
+	MR  int
+
+	// SourceMultipath switches the run to the source-selected
+	// multipath baseline with this many alternative deterministic
+	// paths (plain switches; Fabric.SourceMultipath must match).
+	SourceMultipath int
+
+	Fabric  fabric.Config
+	Traffic traffic.Config
+
+	// Warmup and Measure bound the measurement window
+	// [Warmup, Warmup+Measure); generation stops at the window's end
+	// and the run drains for DrainGrace to complete in-flight
+	// measured packets.
+	Warmup     sim.Time
+	Measure    sim.Time
+	DrainGrace sim.Time
+
+	Seed uint64
+}
+
+// RunResult is the paper's pair of observables plus bookkeeping.
+type RunResult struct {
+	OfferedPerSwitch  float64
+	AcceptedPerSwitch float64
+	AvgLatencyNs      float64
+	P99LatencyNs      float64
+	PacketsMeasured   uint64
+
+	// OutOfOrderFraction is the share of deliveries overtaken by a
+	// later packet of their flow — the in-order cost of adaptivity.
+	OutOfOrderFraction float64
+	// ReorderPeakHeld and ReorderAvgDelayNs report what a
+	// destination-side reorder buffer (§1's sketch) would need to
+	// restore order: its peak occupancy and mean added delay.
+	ReorderPeakHeld   int
+	ReorderAvgDelayNs float64
+}
+
+// Run executes one simulation.
+func Run(spec RunSpec) (RunResult, error) { return RunObserved(spec, nil) }
+
+// RunObserved executes one simulation, calling observe (if non-nil)
+// with the wired network after the metrics collector attaches and
+// before traffic starts — the hook tracers and custom probes use.
+func RunObserved(spec RunSpec, observe func(*fabric.Network)) (RunResult, error) {
+	plan, err := ib.NewAddressPlan(spec.Topo.NumHosts(), spec.LMC)
+	if err != nil {
+		return RunResult{}, err
+	}
+	net, err := fabric.NewNetwork(spec.Topo, plan, spec.Fabric, spec.Seed)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if _, err := subnet.Configure(net, subnet.Options{
+		MaxRoutingOptions: spec.MR,
+		Root:              -1,
+		SourceMultipath:   spec.SourceMultipath,
+	}); err != nil {
+		return RunResult{}, err
+	}
+	col := &metrics.Collector{
+		WarmupEnd:  spec.Warmup,
+		MeasureEnd: spec.Warmup + spec.Measure,
+		Reorder:    reorder.NewBuffer(),
+	}
+	col.Attach(net)
+	if observe != nil {
+		observe(net)
+	}
+	gen, err := traffic.NewGenerator(net, spec.Traffic)
+	if err != nil {
+		return RunResult{}, err
+	}
+	end := spec.Warmup + spec.Measure
+	gen.Start(end)
+	net.Engine.Run(end + spec.DrainGrace)
+	return RunResult{
+		OfferedPerSwitch:   spec.Traffic.OfferedPerSwitch(spec.Topo.HostsPerSwitch),
+		AcceptedPerSwitch:  col.AcceptedPerSwitch(),
+		AvgLatencyNs:       col.Latency.Avg(),
+		P99LatencyNs:       float64(col.Hist.Quantile(0.99)),
+		PacketsMeasured:    col.Latency.Count,
+		OutOfOrderFraction: col.OutOfOrderFraction(),
+		ReorderPeakHeld:    col.Reorder.PeakHeld,
+		ReorderAvgDelayNs:  col.Reorder.AvgReorderDelay(),
+	}, nil
+}
+
+// SweepPoint is one load point of a latency/throughput curve.
+type SweepPoint struct {
+	Offered    float64 // bytes/ns/switch
+	Accepted   float64 // bytes/ns/switch
+	AvgLatency float64 // ns
+}
+
+// LoadSweep runs the spec at each per-host load and returns the
+// curve. Load points are independent simulations, so they execute on
+// a worker pool sized to GOMAXPROCS; results are identical to a
+// sequential sweep.
+func LoadSweep(spec RunSpec, loads []float64) ([]SweepPoint, error) {
+	return runParallel(len(loads), func(i int) (SweepPoint, error) {
+		s := spec
+		s.Traffic.LoadBytesPerNsPerHost = loads[i]
+		res, err := Run(s)
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		return SweepPoint{
+			Offered:    res.OfferedPerSwitch,
+			Accepted:   res.AcceptedPerSwitch,
+			AvgLatency: res.AvgLatencyNs,
+		}, nil
+	})
+}
+
+// Throughput extracts the network throughput from a sweep: the highest
+// accepted traffic observed, the standard reading of the
+// accepted-vs-offered plateau.
+func Throughput(points []SweepPoint) float64 {
+	best := 0.0
+	for _, p := range points {
+		if p.Accepted > best {
+			best = p.Accepted
+		}
+	}
+	return best
+}
+
+// DefaultLoads builds a geometric load grid (bytes/ns/host) from lo to
+// hi with n points, covering the under- to over-saturation range.
+func DefaultLoads(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= ratio
+	}
+	return out
+}
+
+// Scale selects how much work the experiment harnesses do. The paper's
+// full protocol (10 topologies, long windows, 4 network sizes) takes
+// hours; Quick keeps every qualitative comparison while fitting in CI.
+type Scale struct {
+	Sizes       []int // network sizes (switches)
+	Topologies  int   // seeds per configuration
+	LoadPoints  int
+	Warmup      sim.Time
+	Measure     sim.Time
+	DrainGrace  sim.Time
+	HostsPerSw  int
+	FirstSeed   uint64
+	LoadLo      float64 // per-host bytes/ns
+	LoadHi      float64
+	PacketSizes []int
+}
+
+// QuickScale is sized for smoke tests and benchmarks.
+func QuickScale() Scale {
+	return Scale{
+		Sizes:       []int{8, 16},
+		Topologies:  2,
+		LoadPoints:  5,
+		Warmup:      30_000,
+		Measure:     150_000,
+		DrainGrace:  30_000,
+		HostsPerSw:  4,
+		FirstSeed:   1,
+		LoadLo:      0.004,
+		LoadHi:      0.10,
+		PacketSizes: []int{32},
+	}
+}
+
+// FullScale approximates the paper's protocol.
+func FullScale() Scale {
+	return Scale{
+		Sizes:       []int{8, 16, 32, 64},
+		Topologies:  10,
+		LoadPoints:  10,
+		Warmup:      100_000,
+		Measure:     500_000,
+		DrainGrace:  100_000,
+		HostsPerSw:  4,
+		FirstSeed:   1,
+		LoadLo:      0.002,
+		LoadHi:      0.15,
+		PacketSizes: []int{32, 256},
+	}
+}
+
+// topoSet generates the scale's topology seed set for one size/degree.
+func (sc Scale) topoSet(size, links int) ([]*topology.Topology, error) {
+	return topology.GenerateSeedSet(topology.IrregularSpec{
+		NumSwitches: size, HostsPerSwitch: sc.HostsPerSw, InterSwitch: links,
+	}, sc.FirstSeed, sc.Topologies)
+}
+
+// lmcFor returns the smallest LMC whose block holds MR options.
+func lmcFor(mr int) uint {
+	lmc := uint(0)
+	for 1<<lmc < mr {
+		lmc++
+	}
+	if lmc == 0 {
+		lmc = 1 // always leave room for the adaptive bit
+	}
+	return lmc
+}
+
+// Spec assembles a RunSpec from the scale and explicit knobs; the
+// harnesses and the CLI build every run through it.
+func (sc Scale) Spec(topo *topology.Topology, mr, pktSize int, adaptiveFrac float64, pattern traffic.Pattern, seed uint64, enhanced bool) RunSpec {
+	fcfg := fabric.DefaultConfig()
+	fcfg.AdaptiveSwitches = enhanced
+	return RunSpec{
+		Topo:    topo,
+		LMC:     lmcFor(mr),
+		MR:      mr,
+		Fabric:  fcfg,
+		Traffic: traffic.Config{Pattern: pattern, PacketSize: pktSize, AdaptiveFraction: adaptiveFrac, LoadBytesPerNsPerHost: sc.LoadLo, Seed: seed},
+		Warmup:  sc.Warmup, Measure: sc.Measure, DrainGrace: sc.DrainGrace,
+		Seed: seed,
+	}
+}
+
+// fmtFloat prints with the compact precision the report tables use.
+func fmtFloat(v float64) string { return fmt.Sprintf("%.4f", v) }

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ibasim/internal/sim"
+	"ibasim/internal/traffic"
+)
+
+// PatternSpec names a traffic pattern for the harness.
+type PatternSpec struct {
+	Kind     string  // "uniform", "bit-reversal", "hot-spot"
+	Fraction float64 // hot-spot share (0.05, 0.10, 0.20)
+}
+
+func (ps PatternSpec) String() string {
+	if ps.Kind == "hot-spot" {
+		return fmt.Sprintf("hot-spot-%d%%", int(ps.Fraction*100+0.5))
+	}
+	return ps.Kind
+}
+
+// build instantiates the pattern for a host count. The hot host is
+// drawn from the run seed, as the paper randomly selects it.
+func (ps PatternSpec) build(numHosts int, seed uint64) (traffic.Pattern, error) {
+	switch ps.Kind {
+	case "uniform":
+		return traffic.Uniform{NumHosts: numHosts}, nil
+	case "bit-reversal":
+		return traffic.NewBitReversal(numHosts)
+	case "hot-spot":
+		return traffic.NewHotSpot(numHosts, ps.Fraction, sim.NewRNG(seed^0x484F54))
+	default:
+		return nil, fmt.Errorf("experiments: unknown pattern %q", ps.Kind)
+	}
+}
+
+// BuildPattern instantiates a PatternSpec for a host count; the public
+// facade uses it to translate pattern names.
+func BuildPattern(ps PatternSpec, numHosts int, seed uint64) (traffic.Pattern, error) {
+	return ps.build(numHosts, seed)
+}
+
+// Table1Patterns is the paper's pattern list for Table 1 (left).
+var Table1Patterns = []PatternSpec{
+	{Kind: "uniform"},
+	{Kind: "bit-reversal"},
+	{Kind: "hot-spot", Fraction: 0.05},
+	{Kind: "hot-spot", Fraction: 0.10},
+	{Kind: "hot-spot", Fraction: 0.20},
+}
+
+// Table1Row is one row of Table 1: min/max/avg throughput-increase
+// factor of 100% adaptive traffic over the deterministic baseline,
+// across a set of random topologies.
+type Table1Row struct {
+	Switches   int
+	Links      int
+	MR         int
+	PacketSize int
+	Pattern    string
+	Min, Max   float64
+	Avg        float64
+	Factors    []float64
+}
+
+// Table1 computes throughput-increase rows for every network size in
+// the scale, at the given connectivity (links per switch) and routing
+// options (MR), for the given patterns and packet sizes. For each
+// topology it sweeps offered load twice — plain deterministic switches
+// vs enhanced switches with 100% adaptive traffic — and takes the
+// ratio of saturation throughputs.
+func Table1(sc Scale, links, mr int, patterns []PatternSpec, pktSizes []int) ([]Table1Row, error) {
+	var rows []Table1Row
+	loads := DefaultLoads(sc.LoadLo, sc.LoadHi, sc.LoadPoints)
+	for _, size := range sc.Sizes {
+		topos, err := sc.topoSet(size, links)
+		if err != nil {
+			return nil, err
+		}
+		for _, pkt := range pktSizes {
+			for _, ps := range patterns {
+				row := Table1Row{
+					Switches: size, Links: links, MR: mr,
+					PacketSize: pkt, Pattern: ps.String(),
+					Min: -1,
+				}
+				for ti, topo := range topos {
+					seed := sc.FirstSeed + uint64(ti)
+					pattern, err := ps.build(topo.NumHosts(), seed)
+					if err != nil {
+						return nil, err
+					}
+					det := sc.Spec(topo, mr, pkt, 0, pattern, seed, false)
+					ada := sc.Spec(topo, mr, pkt, 1, pattern, seed, true)
+					detPts, err := LoadSweep(det, loads)
+					if err != nil {
+						return nil, err
+					}
+					adaPts, err := LoadSweep(ada, loads)
+					if err != nil {
+						return nil, err
+					}
+					dt, at := Throughput(detPts), Throughput(adaPts)
+					if dt <= 0 {
+						return nil, fmt.Errorf("experiments: zero deterministic throughput (size %d seed %d)", size, seed)
+					}
+					f := at / dt
+					row.Factors = append(row.Factors, f)
+					if row.Min < 0 || f < row.Min {
+						row.Min = f
+					}
+					if f > row.Max {
+						row.Max = f
+					}
+					row.Avg += f
+				}
+				row.Avg /= float64(len(row.Factors))
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// WriteTable1 prints rows in the paper's layout.
+func WriteTable1(w io.Writer, rows []Table1Row) error {
+	if _, err := fmt.Fprintf(w, "# Table 1: throughput increase factor (100%% adaptive vs deterministic)\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-4s %-6s %-3s %-5s %-14s %8s %8s %8s\n",
+		"sw", "links", "MR", "bytes", "pattern", "min", "max", "avg"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-4d %-6d %-3d %-5d %-14s %8.2f %8.2f %8.2f\n",
+			r.Switches, r.Links, r.MR, r.PacketSize, r.Pattern, r.Min, r.Max, r.Avg); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ibasim/internal/routing"
+	"ibasim/internal/topology"
+)
+
+// Table2Row gives, for one (network size, connectivity, MR), the
+// average percentage of (switch, destination-switch) pairs that have
+// exactly k routing options, k = 1..MR — the paper's Table 2. No
+// simulation is involved: the census is a property of the topology
+// and the FA routing function.
+type Table2Row struct {
+	Switches int
+	Links    int
+	MR       int
+	// Percent[k] is the share (0..100) of pairs with exactly k
+	// options; Percent[0] is unused.
+	Percent []float64
+}
+
+// Table2 computes the census for every size in the scale at the given
+// connectivity, averaged over the scale's topology seed set, for
+// MR = 2..maxMR.
+func Table2(sc Scale, links, maxMR int) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, size := range sc.Sizes {
+		topos, err := sc.topoSet(size, links)
+		if err != nil {
+			return nil, err
+		}
+		for mr := 2; mr <= maxMR; mr++ {
+			row := Table2Row{Switches: size, Links: links, MR: mr, Percent: make([]float64, mr+1)}
+			total := 0
+			for _, topo := range topos {
+				hist, err := optionsHistogram(topo, mr)
+				if err != nil {
+					return nil, err
+				}
+				for k := 1; k <= mr; k++ {
+					row.Percent[k] += float64(hist[k])
+				}
+				for _, c := range hist {
+					total += c
+				}
+			}
+			for k := 1; k <= mr; k++ {
+				row.Percent[k] *= 100 / float64(total)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func optionsHistogram(topo *topology.Topology, mr int) ([]int, error) {
+	ud, err := routing.NewUpDown(topo)
+	if err != nil {
+		return nil, err
+	}
+	fa := routing.NewFA(ud.Tables())
+	return fa.OptionsHistogram(mr), nil
+}
+
+// WriteTable2 prints the census in the paper's layout.
+func WriteTable2(w io.Writer, rows []Table2Row) error {
+	if _, err := fmt.Fprintf(w, "# Table 2: %% of (switch,destination) pairs with k routing options\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-4s %-6s %-3s  %s\n", "sw", "links", "MR", "k=1 .. k=MR"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		line := fmt.Sprintf("%-4d %-6d %-3d ", r.Switches, r.Links, r.MR)
+		for k := 1; k <= r.MR; k++ {
+			line += fmt.Sprintf(" %6.2f", r.Percent[k])
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

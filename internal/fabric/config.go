@@ -1,0 +1,103 @@
+// Package fabric is the register-transfer-level model of an IBA
+// subnet: switches with per-VL input buffers, credit-based link-level
+// flow control, virtual cut-through switching, serial links with
+// propagation delay, and channel adapters (hosts) that inject and sink
+// packets. It realizes both a plain spec-compliant deterministic
+// subnet and the paper's enhanced switches (interleaved multi-option
+// forwarding tables, adaptive/escape logical queues inside each VL
+// buffer, credit-split output selection).
+package fabric
+
+import (
+	"fmt"
+
+	"ibasim/internal/core"
+	"ibasim/internal/ib"
+)
+
+// Config gathers the switch and link parameters of a simulation. The
+// zero value is not valid; start from DefaultConfig.
+type Config struct {
+	// NumVLs is the number of data virtual lanes per port. The
+	// paper's evaluation uses a single data VL (VLs are reserved for
+	// QoS separation, which it does not exercise).
+	NumVLs int
+
+	// BufferCredits is C_max: the capacity, in 64-byte credits, of
+	// each (input port, VL) buffer. It must hold at least two MTU
+	// packets so each logical queue can store a whole packet (§4.4).
+	BufferCredits int
+
+	// MTU is the maximum packet size in bytes.
+	MTU int
+
+	// Split divides each VL buffer into the adaptive and escape
+	// logical queues. Ignored by plain deterministic switches.
+	Split core.CreditSplit
+
+	// Selection configures when/how the output port is chosen (§4.3).
+	Selection core.SelectionConfig
+
+	// AdaptiveSwitches enables the paper's switch enhancements. When
+	// false the fabric behaves as a stock IBA subnet: one routing
+	// option per DLID, single logical queue per VL.
+	AdaptiveSwitches bool
+
+	// SourceMultipath enables the baseline the paper's introduction
+	// dismisses: each destination's LID block holds this many
+	// *deterministic* alternative paths and the source picks one per
+	// packet at random. Requires plain switches (AdaptiveSwitches
+	// false); 0 or 1 disables it.
+	SourceMultipath int
+
+	// DeterministicOnly lists switch IDs that stay stock even when
+	// AdaptiveSwitches is true — §4.2's mixed subnet: "a given system
+	// may have both switches that support adaptive routing and
+	// switches that only support deterministic routing". The subnet
+	// manager stores the same output port at every table address of
+	// these switches.
+	DeterministicOnly []int
+
+	// RoutingDelay, PropagationDelay and link rate come from
+	// internal/ib's constants; they are fixed by the paper's model.
+}
+
+// DefaultConfig returns the paper's evaluation parameters: 1 VL,
+// buffers of two MTUs (so each logical queue holds one full packet),
+// MTU 256 B, equal adaptive/escape split, arbitration-time
+// status-aware selection, enhanced switches.
+func DefaultConfig() Config {
+	credits := 2 * ib.Credits(ib.DefaultMTU) * 2 // 2 MTU per logical queue
+	return Config{
+		NumVLs:           1,
+		BufferCredits:    credits,
+		MTU:              ib.DefaultMTU,
+		Split:            core.SplitHalf(credits),
+		Selection:        core.DefaultSelection(),
+		AdaptiveSwitches: true,
+	}
+}
+
+// Validate checks internal consistency.
+func (c Config) Validate() error {
+	if c.NumVLs < 1 || c.NumVLs > ib.MaxVLs {
+		return fmt.Errorf("fabric: NumVLs %d out of range", c.NumVLs)
+	}
+	if c.MTU <= 0 {
+		return fmt.Errorf("fabric: MTU %d", c.MTU)
+	}
+	if c.BufferCredits < 2*ib.Credits(c.MTU) {
+		return fmt.Errorf("fabric: %d credits cannot hold two %d-byte packets (§4.4 requires one per logical queue)",
+			c.BufferCredits, c.MTU)
+	}
+	if c.Split.CMax != c.BufferCredits {
+		return fmt.Errorf("fabric: split CMax %d != BufferCredits %d", c.Split.CMax, c.BufferCredits)
+	}
+	if c.Split.CEscape < ib.Credits(c.MTU) || c.Split.CAdaptiveCap() < ib.Credits(c.MTU) {
+		return fmt.Errorf("fabric: split %+v cannot hold an MTU packet per logical queue", c.Split)
+	}
+	if c.SourceMultipath > 1 && c.AdaptiveSwitches {
+		return fmt.Errorf("fabric: source multipath is a plain-switch baseline; disable AdaptiveSwitches")
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package fabric
+
+import (
+	"fmt"
+
+	"ibasim/internal/ib"
+)
+
+// Host models one end node's channel adapter port: an injection queue
+// feeding the link to its switch, and a sink that accounts deliveries.
+// Source queues are unbounded — the paper measures accepted traffic
+// versus offered load, so injection backpressure shows up as queueing
+// delay rather than drops.
+type Host struct {
+	net *Network
+	id  int
+
+	out *outPort // link toward the attached switch
+
+	queue      []*ib.Packet
+	injPending bool
+
+	// nextSeq numbers generated packets per destination, so the
+	// deliver side can verify in-order arrival of deterministic
+	// traffic.
+	nextSeq map[int]uint64
+
+	// Injected and Delivered count packets for quick accounting;
+	// detailed metrics hang off the Network callbacks.
+	Injected  uint64
+	Delivered uint64
+}
+
+// ID returns the host's global index.
+func (h *Host) ID() int { return h.id }
+
+// QueueLen returns the number of packets waiting in the source queue.
+func (h *Host) QueueLen() int { return len(h.queue) }
+
+// Inject hands a generated packet to the CA. The packet's Src must be
+// this host; DLID and Adaptive must already agree with the network's
+// address plan (traffic generators use Network.NewPacket, which
+// guarantees this).
+func (h *Host) Inject(pkt *ib.Packet) {
+	if pkt.Src != h.id {
+		panic(fmt.Sprintf("fabric: packet %v injected at host %d", pkt, h.id))
+	}
+	pkt.SeqNo = h.nextSeq[pkt.Dst]
+	h.nextSeq[pkt.Dst]++
+	h.queue = append(h.queue, pkt)
+	if h.net.OnCreated != nil {
+		h.net.OnCreated(pkt)
+	}
+	h.kick()
+}
+
+// kick schedules an injection attempt at the current time (coalesced).
+func (h *Host) kick() {
+	if h.injPending {
+		return
+	}
+	h.injPending = true
+	h.net.Engine.Schedule(0, func() {
+		h.injPending = false
+		h.tryInject()
+	})
+}
+
+// tryInject starts transmitting queued packets while the link is free
+// and the switch's input buffer has room for the whole packet.
+func (h *Host) tryInject() {
+	now := h.net.Engine.Now()
+	for len(h.queue) > 0 {
+		pkt := h.queue[0]
+		if !h.out.free(now) {
+			return
+		}
+		vl := pkt.SL % h.net.Cfg.NumVLs
+		if !h.net.Cfg.Split.CanUseEscape(h.out.credits[vl], pkt.Credits()) {
+			return
+		}
+		h.queue = h.queue[1:]
+		h.out.credits[vl] -= pkt.Credits()
+		ser := ib.SerializationTime(pkt.Size)
+		h.out.busyUntil = now + ser
+		h.out.busyAccum += ser
+		h.out.txPackets++
+		pkt.InjectedAt = now
+		h.Injected++
+
+		ps, pp := h.out.peerSwitch, h.out.peerPort
+		h.net.Engine.Schedule(ib.PropagationDelay, func() { ps.receive(pp, vl, pkt) })
+		h.net.Engine.Schedule(ser, h.kick)
+		return // the link is now busy; the ser-kick continues the queue
+	}
+}
+
+// deliver sinks a packet arriving at this host.
+func (h *Host) deliver(pkt *ib.Packet) {
+	if pkt.Dst != h.id {
+		panic(fmt.Sprintf("fabric: packet %v delivered to host %d", pkt, h.id))
+	}
+	pkt.DeliveredAt = h.net.Engine.Now()
+	h.Delivered++
+	if h.net.OnDelivered != nil {
+		h.net.OnDelivered(pkt)
+	}
+}

@@ -1,0 +1,275 @@
+package fabric
+
+import (
+	"fmt"
+
+	"ibasim/internal/core"
+	"ibasim/internal/ib"
+	"ibasim/internal/sim"
+	"ibasim/internal/topology"
+)
+
+// Network assembles switches, hosts and links over a topology and
+// drives them with one discrete-event engine. Forwarding tables start
+// unprogrammed; the subnet manager (internal/subnet) fills them before
+// traffic flows, mirroring IBA initialization.
+type Network struct {
+	Engine *sim.Engine
+	Topo   *topology.Topology
+	Plan   *ib.AddressPlan
+	Cfg    Config
+
+	Switches []*Switch
+	Hosts    []*Host
+
+	rng    *sim.RNG
+	nextID uint64
+
+	// OnCreated fires when a packet enters a source queue; OnDelivered
+	// when it reaches its destination CA; OnHop when a switch starts
+	// forwarding a packet (switch ID, output port, whether an adaptive
+	// routing option was used). Metrics collectors and tracers attach
+	// here; attachers must chain any callback already present.
+	OnCreated   func(*ib.Packet)
+	OnDelivered func(*ib.Packet)
+	OnHop       func(p *ib.Packet, sw int, out ib.PortID, adaptive bool)
+}
+
+// NewNetwork wires a subnet over the topology. The LMC is chosen by
+// the caller through plan (LMC 0 = no adaptive addressing). Seed
+// feeds the selection/traffic RNG, not the topology.
+func NewNetwork(topo *topology.Topology, plan *ib.AddressPlan, cfg Config, seed uint64) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if plan.NumHosts != topo.NumHosts() {
+		return nil, fmt.Errorf("fabric: plan has %d hosts, topology %d", plan.NumHosts, topo.NumHosts())
+	}
+	net := &Network{
+		Engine: sim.NewEngine(),
+		Topo:   topo,
+		Plan:   plan,
+		Cfg:    cfg,
+		rng:    sim.NewRNG(seed ^ 0x4641425249435F), // package tag
+	}
+
+	detOnly := make(map[int]bool, len(cfg.DeterministicOnly))
+	for _, s := range cfg.DeterministicOnly {
+		if s < 0 || s >= topo.NumSwitches {
+			return nil, fmt.Errorf("fabric: DeterministicOnly switch %d out of range", s)
+		}
+		detOnly[s] = true
+	}
+	numPorts := topo.SwitchPorts
+	for s := 0; s < topo.NumSwitches; s++ {
+		table, err := core.NewAdaptiveTable(plan.MaxLID(), plan.LMC)
+		if err != nil {
+			return nil, err
+		}
+		sl2vl, err := ib.NewSLtoVLTable(numPorts, ib.MaxVLs, cfg.NumVLs)
+		if err != nil {
+			return nil, err
+		}
+		net.Switches = append(net.Switches, &Switch{
+			net:      net,
+			id:       s,
+			enhanced: cfg.AdaptiveSwitches && !detOnly[s],
+			table:    table,
+			sl2vl:    sl2vl,
+			in:       make([]*inPort, numPorts),
+			out:      make([]*outPort, numPorts),
+		})
+	}
+	for h := 0; h < topo.NumHosts(); h++ {
+		net.Hosts = append(net.Hosts, &Host{net: net, id: h, nextSeq: map[int]uint64{}})
+	}
+
+	// Wire host links: host h occupies port (h mod HostsPerSwitch) of
+	// its switch.
+	for h, host := range net.Hosts {
+		sw := net.Switches[topo.HostSwitch(h)]
+		port := ib.PortID(h % topo.HostsPerSwitch)
+		host.out = &outPort{
+			owner:      host,
+			id:         0,
+			peerSwitch: sw,
+			peerPort:   port,
+			credits:    net.fullCredits(),
+		}
+		sw.in[port] = &inPort{
+			id:       port,
+			vls:      net.newVLBuffers(sw.enhanced),
+			upstream: host.out,
+		}
+		sw.out[port] = &outPort{
+			owner:    sw,
+			id:       port,
+			peerHost: host,
+			credits:  net.fullCredits(),
+		}
+	}
+
+	// Wire inter-switch links: switch s uses ports HostsPerSwitch..,
+	// one per neighbour in ascending neighbour order.
+	portOf := func(s, neighbor int) (ib.PortID, error) {
+		for i, n := range topo.Neighbors(s) {
+			if n == neighbor {
+				return ib.PortID(topo.HostsPerSwitch + i), nil
+			}
+		}
+		return 0, fmt.Errorf("fabric: %d not adjacent to %d", neighbor, s)
+	}
+	for _, l := range topo.Links {
+		pa, err := portOf(l.A, l.B)
+		if err != nil {
+			return nil, err
+		}
+		pb, err := portOf(l.B, l.A)
+		if err != nil {
+			return nil, err
+		}
+		if int(pa) >= numPorts || int(pb) >= numPorts {
+			return nil, fmt.Errorf("fabric: link %+v exceeds %d ports", l, numPorts)
+		}
+		a, b := net.Switches[l.A], net.Switches[l.B]
+		net.wire(a, pa, b, pb)
+		net.wire(b, pb, a, pa)
+	}
+	return net, nil
+}
+
+// wire creates the directed channel from (a, pa) to (b, pb).
+func (n *Network) wire(a *Switch, pa ib.PortID, b *Switch, pb ib.PortID) {
+	o := &outPort{
+		owner:      a,
+		id:         pa,
+		peerSwitch: b,
+		peerPort:   pb,
+		credits:    n.fullCredits(),
+	}
+	a.out[pa] = o
+	b.in[pb] = &inPort{
+		id:       pb,
+		vls:      n.newVLBuffers(b.enhanced),
+		upstream: o,
+	}
+}
+
+func (n *Network) fullCredits() []int {
+	c := make([]int, n.Cfg.NumVLs)
+	for i := range c {
+		c[i] = n.Cfg.BufferCredits
+	}
+	return c
+}
+
+// newVLBuffers builds the per-VL input buffers of one switch port;
+// enhanced switches split each buffer into adaptive and escape
+// logical queues, stock switches keep a single queue.
+func (n *Network) newVLBuffers(enhanced bool) []*vlBuffer {
+	vls := make([]*vlBuffer, n.Cfg.NumVLs)
+	for i := range vls {
+		vls[i] = newVLBuffer(n.Cfg.Split, enhanced)
+	}
+	return vls
+}
+
+// NewPacket builds a packet from src to dst with the service mode
+// encoded in the DLID per the address plan, stamped with the current
+// simulated time. The caller injects it at Hosts[src]. In source
+// multipath mode the adaptive flag is ignored and the DLID selects one
+// of the alternative deterministic paths uniformly at random — the
+// source-node path selection of the paper's introduction.
+func (n *Network) NewPacket(src, dst, size int, adaptive bool) *ib.Packet {
+	n.nextID++
+	dlid := n.Plan.DLIDFor(dst, adaptive)
+	if k := n.Cfg.SourceMultipath; k > 1 {
+		adaptive = false
+		dlid = n.Plan.BaseLID(dst) + ib.LID(n.rng.Intn(k))
+	}
+	return &ib.Packet{
+		ID:        n.nextID,
+		Src:       src,
+		Dst:       dst,
+		SLID:      n.Plan.BaseLID(src),
+		DLID:      dlid,
+		Size:      size,
+		Adaptive:  adaptive && n.Plan.LMC > 0,
+		CreatedAt: n.Engine.Now(),
+	}
+}
+
+// PortToNeighbor returns switch s's output port wired to the adjacent
+// switch n (ports follow ascending neighbour order after the host
+// ports).
+func (n *Network) PortToNeighbor(s, neighbor int) (ib.PortID, error) {
+	for i, m := range n.Topo.Neighbors(s) {
+		if m == neighbor {
+			return ib.PortID(n.Topo.HostsPerSwitch + i), nil
+		}
+	}
+	return 0, fmt.Errorf("fabric: switch %d not adjacent to %d", neighbor, s)
+}
+
+// HostPort returns the port of the host's switch that faces the host.
+func (n *Network) HostPort(host int) ib.PortID {
+	return ib.PortID(host % n.Topo.HostsPerSwitch)
+}
+
+// InFlight counts packets buffered in switches or source queues —
+// zero once a finite workload has fully drained.
+func (n *Network) InFlight() int {
+	total := 0
+	for _, sw := range n.Switches {
+		total += sw.queuedPackets()
+	}
+	for _, h := range n.Hosts {
+		total += h.QueueLen()
+	}
+	return total
+}
+
+// CreditsIntact verifies flow-control conservation: with no packet in
+// flight, every output port must see the full credit count of its
+// peer buffer. A mismatch means credits were lost or duplicated.
+func (n *Network) CreditsIntact() error {
+	check := func(o *outPort, owner string) error {
+		if o == nil {
+			return nil
+		}
+		for vl, c := range o.credits {
+			if c != n.Cfg.BufferCredits {
+				return fmt.Errorf("fabric: %s port %d vl %d has %d credits, want %d",
+					owner, o.id, vl, c, n.Cfg.BufferCredits)
+			}
+		}
+		return nil
+	}
+	for _, sw := range n.Switches {
+		for _, o := range sw.out {
+			if err := check(o, fmt.Sprintf("switch %d", sw.id)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, h := range n.Hosts {
+		if err := check(h.out, fmt.Sprintf("host %d", h.id)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drain runs the engine until every event has fired, then verifies
+// nothing is left in any buffer. It is the standard way tests finish
+// a finite workload.
+func (n *Network) Drain() error {
+	n.Engine.RunUntilIdle()
+	if f := n.InFlight(); f != 0 {
+		return fmt.Errorf("fabric: %d packets stuck after drain (deadlock?)", f)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package fabric
+
+import (
+	"fmt"
+
+	"ibasim/internal/ib"
+)
+
+// SetLinkDown marks the inter-switch cable between a and b as failed
+// in both directions: neither output port will start another
+// transmission. Packets already serialized or in flight complete
+// normally (planned removal semantics: the cable is unplugged after
+// the current packet drains). The forwarding tables still reference
+// the dead ports until the subnet manager reconfigures the network —
+// call subnet.Reconfigure promptly afterwards.
+func (n *Network) SetLinkDown(a, b int) error {
+	pa, err := n.PortToNeighbor(a, b)
+	if err != nil {
+		return err
+	}
+	pb, err := n.PortToNeighbor(b, a)
+	if err != nil {
+		return err
+	}
+	n.Switches[a].out[pa].down = true
+	n.Switches[b].out[pb].down = true
+	return nil
+}
+
+// LinkIsDown reports whether the cable between a and b has failed.
+func (n *Network) LinkIsDown(a, b int) bool {
+	pa, err := n.PortToNeighbor(a, b)
+	if err != nil {
+		return false
+	}
+	return n.Switches[a].out[pa].down
+}
+
+// Reroute re-runs the forwarding-table access for every packet
+// buffered in the switch, replacing routing decisions that may
+// reference ports whose cables have failed. The subnet manager calls
+// this on every switch after reprogramming tables; without it,
+// already-routed packets would wait forever on dead ports.
+func (sw *Switch) Reroute() {
+	for _, in := range sw.in {
+		if in == nil {
+			continue
+		}
+		for _, buf := range in.vls {
+			for _, e := range buf.entries {
+				if sw.enhanced {
+					escape, adaptive, err := sw.table.Lookup(e.pkt.DLID)
+					if err != nil {
+						panic(fmt.Sprintf("fabric: reroute switch %d: %v", sw.id, err))
+					}
+					e.escape, e.adaptive = escape, adaptive
+					if e.chosen != ib.InvalidPort {
+						// Immediate-selection decisions are remade.
+						e.chosen = ib.InvalidPort
+						sw.selectImmediate(e)
+					}
+				} else {
+					p := sw.table.Get(e.pkt.DLID)
+					if p == ib.InvalidPort {
+						panic(fmt.Sprintf("fabric: reroute switch %d: DLID %d unprogrammed", sw.id, e.pkt.DLID))
+					}
+					e.escape = p
+				}
+			}
+		}
+	}
+	sw.kick()
+}

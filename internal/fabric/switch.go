@@ -1,0 +1,335 @@
+package fabric
+
+import (
+	"fmt"
+
+	"ibasim/internal/core"
+	"ibasim/internal/ib"
+	"ibasim/internal/sim"
+)
+
+// Switch is one IBA switch. Host-facing ports are numbered
+// 0..HostsPerSwitch-1; inter-switch ports follow in neighbour order.
+// Packets are routed on (head) arrival by a forwarding-table access,
+// become servable RoutingDelay later, and leave through a crossbar
+// allocation pass (arbitrate) that honours the credit rules of §4.4.
+type Switch struct {
+	net *Network
+	id  int
+
+	// enhanced marks a switch with the paper's extensions; stock
+	// switches route by exact-DLID linear lookup and keep single
+	// queues per VL (§4.2 allows mixing both kinds in one subnet).
+	enhanced bool
+
+	table *core.AdaptiveTable
+	sl2vl *ib.SLtoVLTable
+
+	in  []*inPort  // indexed by port; nil when the port is unwired
+	out []*outPort // indexed by port; nil when the port is unwired
+
+	rr         int // round-robin start for the allocation scan
+	arbPending bool
+}
+
+// ID returns the switch's topology ID.
+func (sw *Switch) ID() int { return sw.id }
+
+// Enhanced reports whether this switch carries the paper's adaptive
+// extensions (§4.2 mixed subnets may contain both kinds).
+func (sw *Switch) Enhanced() bool { return sw.enhanced }
+
+// Table exposes the forwarding table for the subnet manager.
+func (sw *Switch) Table() *core.AdaptiveTable { return sw.table }
+
+// kick schedules an allocation pass at the current time, coalescing
+// multiple triggers within one event timestamp.
+func (sw *Switch) kick() {
+	if sw.arbPending {
+		return
+	}
+	sw.arbPending = true
+	sw.net.Engine.Schedule(0, func() {
+		sw.arbPending = false
+		sw.arbitrate()
+	})
+}
+
+// receive is the head arrival of a packet on (port, vl). The
+// forwarding table is accessed immediately ("as soon as a packet
+// arrives at the switch, before reaching the head of the input
+// buffer", §4.3); the packet becomes servable after RoutingDelay.
+func (sw *Switch) receive(port ib.PortID, vl int, pkt *ib.Packet) {
+	now := sw.net.Engine.Now()
+	e := &bufEntry{
+		pkt:     pkt,
+		readyAt: now + ib.RoutingDelay,
+		chosen:  ib.InvalidPort,
+	}
+	if sw.enhanced {
+		escape, adaptive, err := sw.table.Lookup(pkt.DLID)
+		if err != nil {
+			panic(fmt.Sprintf("fabric: switch %d: %v", sw.id, err))
+		}
+		e.escape, e.adaptive = escape, adaptive
+		if !sw.net.Cfg.Selection.AtArbitration {
+			sw.selectImmediate(e)
+		}
+	} else {
+		// Plain IBA switch: a linear lookup of the exact DLID yields
+		// the single routing option.
+		p := sw.table.Get(pkt.DLID)
+		if p == ib.InvalidPort {
+			panic(fmt.Sprintf("fabric: switch %d: DLID %d unprogrammed", sw.id, pkt.DLID))
+		}
+		e.escape = p
+	}
+	sw.in[port].vls[vl].push(e)
+	sw.net.Engine.Schedule(ib.RoutingDelay, sw.kick)
+}
+
+// selectImmediate fixes the output port right after the table access
+// (§4.3 immediate selection). Status-aware immediate selection uses
+// the credit/link status at this moment; static selection picks
+// uniformly among all returned options.
+func (sw *Switch) selectImmediate(e *bufEntry) {
+	if !e.pkt.Adaptive || len(e.adaptive) == 0 {
+		e.chosen, e.chosenIsAdaptive = e.escape, false
+		return
+	}
+	now := sw.net.Engine.Now()
+	if sw.net.Cfg.Selection.StatusAware {
+		cands := sw.adaptiveCandidates(e, now)
+		if i := core.PickAdaptive(sw.net.Cfg.Selection, cands, sw.net.rng); i >= 0 {
+			e.chosen, e.chosenIsAdaptive = cands[i].Port, true
+			return
+		}
+		e.chosen, e.chosenIsAdaptive = e.escape, false
+		return
+	}
+	// Static: uniform over adaptive options plus the escape option.
+	k := sw.net.rng.Intn(len(e.adaptive) + 1)
+	if k < len(e.adaptive) {
+		e.chosen, e.chosenIsAdaptive = e.adaptive[k], true
+	} else {
+		e.chosen, e.chosenIsAdaptive = e.escape, false
+	}
+}
+
+// adaptiveCandidates builds the selector's view of an entry's adaptive
+// options: eligibility = output link free now and the next hop's
+// adaptive queue can hold the whole packet.
+func (sw *Switch) adaptiveCandidates(e *bufEntry, now sim.Time) []core.Candidate {
+	cands := make([]core.Candidate, len(e.adaptive))
+	pktCredits := e.pkt.Credits()
+	for i, p := range e.adaptive {
+		o := sw.out[p]
+		c := core.Candidate{Port: p}
+		if o != nil {
+			vl := sw.outVL(e, p)
+			avail := o.credits[vl]
+			if o.peerHost != nil {
+				// Delivery port: the CA drains at line rate and has no
+				// queue split; total room is the condition.
+				c.AdaptiveCredits = avail
+				c.Eligible = o.free(now) && sw.net.Cfg.Split.CanUseEscape(avail, pktCredits)
+			} else {
+				c.AdaptiveCredits = sw.net.Cfg.Split.Adaptive(avail)
+				c.Eligible = o.free(now) && sw.net.Cfg.Split.CanUseAdaptive(avail, pktCredits)
+			}
+		}
+		cands[i] = c
+	}
+	return cands
+}
+
+// escapeUsable reports whether the escape option of an entry can fire
+// now: link free and the next VL has room for the whole packet.
+func (sw *Switch) escapeUsable(e *bufEntry, now sim.Time) bool {
+	o := sw.out[e.escape]
+	if o == nil || !o.free(now) {
+		return false
+	}
+	vl := sw.outVL(e, e.escape)
+	return sw.net.Cfg.Split.CanUseEscape(o.credits[vl], e.pkt.Credits())
+}
+
+// outVL computes the VL the packet will use on the chosen output link
+// via the SLtoVL table. The input port is not tracked per entry
+// because the default mapping ignores it; using port 0 keeps the
+// lookup well-formed. (Entries could carry their input port if a
+// QoS-style SLtoVL configuration ever needs it.)
+func (sw *Switch) outVL(e *bufEntry, out ib.PortID) int {
+	vl, err := sw.sl2vl.VL(0, int(out), e.pkt.SL)
+	if err != nil {
+		panic(fmt.Sprintf("fabric: switch %d: %v", sw.id, err))
+	}
+	return vl
+}
+
+// servicePoint identifies one crossbar connection of an input buffer.
+type servicePoint struct {
+	port ib.PortID
+	vl   int
+}
+
+// arbitrate is the crossbar allocation pass: scan service points in
+// round-robin order and start every transmission whose credit and
+// link conditions hold, repeating until a full scan makes no progress.
+func (sw *Switch) arbitrate() {
+	now := sw.net.Engine.Now()
+	points := sw.servicePoints()
+	if len(points) == 0 {
+		return
+	}
+	for progress := true; progress; {
+		progress = false
+		for i := 0; i < len(points); i++ {
+			sp := points[(sw.rr+i)%len(points)]
+			buf := sw.in[sp.port].vls[sp.vl]
+			if sw.tryServe(buf, sp, now) {
+				progress = true
+			}
+		}
+	}
+	sw.rr++
+}
+
+// tryServe attempts to dispatch from both service points of one
+// buffer. It returns true if any packet left.
+func (sw *Switch) tryServe(buf *vlBuffer, sp servicePoint, now sim.Time) bool {
+	served := false
+	// Buffer head (adaptive-queue head).
+	if e := buf.head(); e != nil && e.readyAt <= now {
+		if out, asAdaptive, ok := sw.chooseOutput(e, now); ok {
+			sw.startTx(buf, 0, sp, out, asAdaptive)
+			served = true
+		}
+	}
+	// Escape-queue connection, served independently (§4.4); the
+	// in-order pointer may redirect it to the first deterministic
+	// packet still in the adaptive region (see escapeService).
+	if idx, e := buf.escapeService(); e != nil && idx > 0 && e.readyAt <= now {
+		if out, asAdaptive, ok := sw.chooseOutput(e, now); ok {
+			sw.startTx(buf, idx, sp, out, asAdaptive)
+			served = true
+		}
+	}
+	return served
+}
+
+// chooseOutput picks the output port for a servable entry under the
+// configured selection policy, returning ok=false when nothing can
+// fire now.
+func (sw *Switch) chooseOutput(e *bufEntry, now sim.Time) (out ib.PortID, asAdaptive bool, ok bool) {
+	if e.chosen != ib.InvalidPort {
+		// Immediate selection: the decision is fixed; wait until that
+		// specific option can fire.
+		o := sw.out[e.chosen]
+		if o == nil || !o.free(now) {
+			return 0, false, false
+		}
+		vl := sw.outVL(e, e.chosen)
+		avail := o.credits[vl]
+		pktCredits := e.pkt.Credits()
+		usable := sw.net.Cfg.Split.CanUseEscape(avail, pktCredits)
+		if e.chosenIsAdaptive && o.peerHost == nil {
+			usable = sw.net.Cfg.Split.CanUseAdaptive(avail, pktCredits)
+		}
+		if !usable {
+			return 0, false, false
+		}
+		return e.chosen, e.chosenIsAdaptive, true
+	}
+	// Arbitration-time selection: adaptive options first (preference
+	// for minimal paths, §3), escape as fallback.
+	if e.pkt.Adaptive && len(e.adaptive) > 0 && sw.enhanced {
+		cands := sw.adaptiveCandidates(e, now)
+		if i := core.PickAdaptive(sw.net.Cfg.Selection, cands, sw.net.rng); i >= 0 {
+			return cands[i].Port, true, true
+		}
+	}
+	if sw.escapeUsable(e, now) {
+		return e.escape, false, true
+	}
+	return 0, false, false
+}
+
+// startTx dequeues the entry at idx and begins its transmission on
+// the output port: credits are reserved for the whole packet (VCT),
+// the link is held for the serialization time, the credit update for
+// this switch's own input buffer travels back after the tail leaves,
+// and the head arrives at the peer after the propagation delay.
+func (sw *Switch) startTx(buf *vlBuffer, idx int, sp servicePoint, out ib.PortID, asAdaptive bool) {
+	now := sw.net.Engine.Now()
+	e := buf.removeAt(idx)
+	pkt := e.pkt
+	o := sw.out[out]
+	vl := sw.outVL(e, out)
+	ser := ib.SerializationTime(pkt.Size)
+
+	o.credits[vl] -= pkt.Credits()
+	if o.credits[vl] < 0 {
+		panic(fmt.Sprintf("fabric: switch %d port %d vl %d negative credits", sw.id, out, vl))
+	}
+	o.busyUntil = now + ser
+	o.busyAccum += ser
+	o.txPackets++
+	pkt.Hops++
+	if sw.net.OnHop != nil {
+		sw.net.OnHop(pkt, sw.id, out, asAdaptive)
+	}
+
+	// Credit update to our upstream once the tail has left this
+	// buffer (ser) and flown back (prop).
+	up := sw.in[sp.port].upstream
+	inVL := sp.vl
+	credits := pkt.Credits()
+	sw.net.Engine.Schedule(ser+ib.PropagationDelay, func() {
+		up.returnCredits(inVL, credits)
+	})
+
+	if o.peerHost != nil {
+		h := o.peerHost
+		sw.net.Engine.Schedule(ser+ib.PropagationDelay, func() { h.deliver(pkt) })
+		// The CA drains at line rate: its buffer frees as the tail
+		// arrives, and the credit update flies back one propagation
+		// delay later.
+		sw.net.Engine.Schedule(ser+2*ib.PropagationDelay, func() {
+			o.returnCredits(vl, credits)
+		})
+	} else {
+		ps, pp := o.peerSwitch, o.peerPort
+		sw.net.Engine.Schedule(ib.PropagationDelay, func() { ps.receive(pp, vl, pkt) })
+	}
+	// The link frees at ser; look for more work then.
+	sw.net.Engine.Schedule(ser, sw.kick)
+}
+
+// servicePoints enumerates the wired (port, VL) buffers.
+func (sw *Switch) servicePoints() []servicePoint {
+	var pts []servicePoint
+	for p, in := range sw.in {
+		if in == nil {
+			continue
+		}
+		for vl := range in.vls {
+			pts = append(pts, servicePoint{port: ib.PortID(p), vl: vl})
+		}
+	}
+	return pts
+}
+
+// queuedPackets counts packets buffered in the switch (test hook).
+func (sw *Switch) queuedPackets() int {
+	n := 0
+	for _, in := range sw.in {
+		if in == nil {
+			continue
+		}
+		for _, b := range in.vls {
+			n += b.len()
+		}
+	}
+	return n
+}

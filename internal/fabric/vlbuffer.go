@@ -1,0 +1,121 @@
+package fabric
+
+import (
+	"fmt"
+
+	"ibasim/internal/core"
+	"ibasim/internal/ib"
+	"ibasim/internal/sim"
+)
+
+// bufEntry is one packet held in a VL input buffer together with its
+// routing state.
+type bufEntry struct {
+	pkt     *ib.Packet
+	readyAt sim.Time // head arrival + routing delay; earliest service
+
+	// Routing options returned by the forwarding-table access.
+	escape   ib.PortID
+	adaptive []ib.PortID
+
+	// chosen is the fixed output selected at routing time when the
+	// switch uses immediate selection (§4.3); InvalidPort when the
+	// decision is deferred to arbitration.
+	chosen ib.PortID
+	// chosenIsAdaptive records which credit rule the fixed choice
+	// must satisfy.
+	chosenIsAdaptive bool
+}
+
+// vlBuffer models the physical buffer of one (input port, VL) pair,
+// logically divided per Figure 2: the first Split.CAdaptiveCap()
+// credits form the adaptive queue, the rest the escape queue. It is a
+// single FIFO with two service points:
+//
+//   - the buffer head (head of the adaptive queue), always servable;
+//   - the escape head: the first packet whose storage starts inside
+//     the escape region, servable independently (its own connection
+//     to the internal crossbar).
+//
+// Departures shift later packets toward the head, which is exactly the
+// escape→adaptive queue transition §4.4 describes (and §3 proves
+// harmless for deadlock freedom).
+type vlBuffer struct {
+	split    core.CreditSplit
+	entries  []*bufEntry
+	occupied int // credits currently stored
+
+	// adaptiveQueues reports whether the switch splits this buffer at
+	// all; plain deterministic switches expose only the buffer head.
+	adaptiveQueues bool
+}
+
+func newVLBuffer(split core.CreditSplit, adaptiveQueues bool) *vlBuffer {
+	return &vlBuffer{split: split, adaptiveQueues: adaptiveQueues}
+}
+
+// push appends an arriving packet. It panics if the packet does not
+// fit: the upstream credit accounting must have prevented that, so an
+// overflow is a flow-control bug, not a runtime condition.
+func (b *vlBuffer) push(e *bufEntry) {
+	c := e.pkt.Credits()
+	if b.occupied+c > b.split.CMax {
+		panic(fmt.Sprintf("fabric: VL buffer overflow: %d+%d > %d (flow control violated)",
+			b.occupied, c, b.split.CMax))
+	}
+	b.entries = append(b.entries, e)
+	b.occupied += c
+}
+
+// head returns the buffer-head service point, or nil when empty.
+func (b *vlBuffer) head() *bufEntry {
+	if len(b.entries) == 0 {
+		return nil
+	}
+	return b.entries[0]
+}
+
+// escapeService returns the entry the escape-queue crossbar connection
+// serves and its index, or (-1, nil) when it has nothing to do (or the
+// switch does not split buffers). Normally this is the escape head —
+// the first packet stored past the adaptive region. §4.4's in-order
+// pointer redirects the connection when a deterministic packet is
+// still waiting in the adaptive region ahead of the escape head: that
+// packet "must be forwarded before any other packet stored in the
+// escape queue", so the connection serves it instead. Redirecting
+// (rather than stalling) keeps the escape network's progress guarantee
+// intact — a stalled escape connection would reintroduce the circular
+// waits the escape queues exist to break.
+func (b *vlBuffer) escapeService() (int, *bufEntry) {
+	if !b.adaptiveQueues {
+		return -1, nil
+	}
+	offset := 0
+	firstDet := -1
+	for i, e := range b.entries {
+		if offset >= b.split.CAdaptiveCap() {
+			// e is the escape head.
+			if firstDet >= 0 {
+				return firstDet, b.entries[firstDet]
+			}
+			return i, e
+		}
+		if firstDet < 0 && !e.pkt.Adaptive {
+			firstDet = i
+		}
+		offset += e.pkt.Credits()
+	}
+	return -1, nil
+}
+
+// removeAt dequeues the entry at index i (0 = buffer head; the escape
+// head may be interior — RAM-based VL buffers allow that, §4.4).
+func (b *vlBuffer) removeAt(i int) *bufEntry {
+	e := b.entries[i]
+	b.entries = append(b.entries[:i], b.entries[i+1:]...)
+	b.occupied -= e.pkt.Credits()
+	return e
+}
+
+// len returns the number of buffered packets.
+func (b *vlBuffer) len() int { return len(b.entries) }

@@ -1,0 +1,50 @@
+package ib
+
+import "fmt"
+
+// PortID numbers the ports of one switch (0-based). The fabric package
+// assigns host-facing ports first, then inter-switch ports.
+type PortID int
+
+// InvalidPort marks unprogrammed forwarding-table entries.
+const InvalidPort PortID = -1
+
+// LinearForwardingTable is the spec's linear forwarding table: a plain
+// array of output ports indexed by DLID ("the LID acts as an index
+// into the table"). This is the only view the subnet manager has; the
+// adaptive extension in internal/core wraps it without changing this
+// interface, which is how the paper's proposal stays spec-compatible.
+type LinearForwardingTable struct {
+	ports []PortID
+}
+
+// NewLinearForwardingTable returns a table covering LIDs [0, maxLID],
+// all entries invalid.
+func NewLinearForwardingTable(maxLID LID) *LinearForwardingTable {
+	ports := make([]PortID, int(maxLID)+1)
+	for i := range ports {
+		ports[i] = InvalidPort
+	}
+	return &LinearForwardingTable{ports: ports}
+}
+
+// Len returns the number of entries (MaxLID+1).
+func (t *LinearForwardingTable) Len() int { return len(t.ports) }
+
+// Set programs the output port for a LID, as the subnet manager does
+// at initialization time.
+func (t *LinearForwardingTable) Set(lid LID, port PortID) error {
+	if int(lid) >= len(t.ports) {
+		return fmt.Errorf("ib: LID %d beyond table size %d", lid, len(t.ports))
+	}
+	t.ports[lid] = port
+	return nil
+}
+
+// Get returns the programmed port for a LID (InvalidPort if none).
+func (t *LinearForwardingTable) Get(lid LID) PortID {
+	if int(lid) >= len(t.ports) {
+		return InvalidPort
+	}
+	return t.ports[lid]
+}

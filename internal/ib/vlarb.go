@@ -1,0 +1,133 @@
+package ib
+
+import "fmt"
+
+// VLArbEntry is one slot of an IBA VL arbitration table: the VL it
+// names may send up to Weight × 64 bytes before the arbiter moves on.
+type VLArbEntry struct {
+	VL     int
+	Weight int // 0..255, in units of 64 bytes; 0 skips the entry
+}
+
+// VLArbTable is the spec's two-priority weighted round-robin arbiter
+// configuration for one output port: the high-priority table is
+// consulted first (up to Limit high-priority units per low-priority
+// opportunity), then the low-priority table. The paper's evaluation
+// uses a single data VL, so its runs never exercise weighting, but the
+// substrate is part of the IBA switch model and the multi-VL
+// configurations use it.
+type VLArbTable struct {
+	High  []VLArbEntry
+	Low   []VLArbEntry
+	Limit int // high-priority limit (units of 64 bytes x 4..; spec: 0..255)
+
+	hi, lo     int // rotating indices
+	hiBudget   int // remaining weight units of the current high entry
+	loBudget   int
+	highSpent  int // units sent from High since the last Low grant
+	numVLs     int
+	everWeight bool
+}
+
+// NewVLArbTable builds a fair single-priority arbiter: every VL in the
+// low-priority table with equal weight — the default behaviour an
+// unconfigured subnet gets.
+func NewVLArbTable(numVLs int) (*VLArbTable, error) {
+	if numVLs < 1 || numVLs > MaxVLs {
+		return nil, fmt.Errorf("ib: VLArb with %d VLs", numVLs)
+	}
+	t := &VLArbTable{Limit: 255, numVLs: numVLs}
+	for vl := 0; vl < numVLs; vl++ {
+		t.Low = append(t.Low, VLArbEntry{VL: vl, Weight: 16})
+	}
+	t.resetBudgets()
+	return t, nil
+}
+
+// Configure replaces both tables. Entries naming VLs outside the
+// port's range or zero-weight entries are rejected/skipped per spec.
+func (t *VLArbTable) Configure(high, low []VLArbEntry, limit int) error {
+	check := func(entries []VLArbEntry) error {
+		for _, e := range entries {
+			if e.VL < 0 || e.VL >= t.numVLs {
+				return fmt.Errorf("ib: VLArb entry names VL %d of %d", e.VL, t.numVLs)
+			}
+			if e.Weight < 0 || e.Weight > 255 {
+				return fmt.Errorf("ib: VLArb weight %d out of range", e.Weight)
+			}
+		}
+		return nil
+	}
+	if err := check(high); err != nil {
+		return err
+	}
+	if err := check(low); err != nil {
+		return err
+	}
+	if limit < 0 || limit > 255 {
+		return fmt.Errorf("ib: VLArb limit %d out of range", limit)
+	}
+	t.High, t.Low, t.Limit = high, low, limit
+	t.hi, t.lo, t.highSpent = 0, 0, 0
+	t.resetBudgets()
+	return nil
+}
+
+func (t *VLArbTable) resetBudgets() {
+	t.hiBudget = 0
+	if len(t.High) > 0 {
+		t.hiBudget = t.High[t.hi].Weight
+	}
+	t.loBudget = 0
+	if len(t.Low) > 0 {
+		t.loBudget = t.Low[t.lo].Weight
+	}
+}
+
+// Next picks the VL that may transmit a packet of pktCredits units,
+// given which VLs currently have a packet ready (ready[vl] == true).
+// It returns -1 when no ready VL is eligible. The returned VL's
+// budget is charged; weights realize bandwidth shares over time.
+func (t *VLArbTable) Next(ready []bool, pktCredits int) int {
+	if len(ready) < t.numVLs {
+		return -1
+	}
+	// High-priority table first, unless its limit since the last
+	// low-priority grant is exhausted.
+	if len(t.High) > 0 && t.highSpent < t.Limit {
+		if vl := t.scan(t.High, &t.hi, &t.hiBudget, ready, pktCredits); vl >= 0 {
+			t.highSpent += pktCredits
+			return vl
+		}
+	}
+	if len(t.Low) > 0 {
+		if vl := t.scan(t.Low, &t.lo, &t.loBudget, ready, pktCredits); vl >= 0 {
+			t.highSpent = 0
+			return vl
+		}
+	}
+	return -1
+}
+
+// scan walks one table round-robin from the current index, charging
+// the entry's weight budget; an exhausted or not-ready entry passes
+// its turn. Per the spec's accounting, a packet may start whenever
+// the current entry has any budget left — the charge saturates at
+// zero, so large packets borrow against the next turn rather than
+// starve. The bound is len+1 positions: the starting entry may be
+// revisited once with a refreshed budget.
+func (t *VLArbTable) scan(entries []VLArbEntry, idx, budget *int, ready []bool, pktCredits int) int {
+	for tries := 0; tries <= len(entries); tries++ {
+		e := entries[*idx]
+		if e.Weight > 0 && ready[e.VL] && *budget > 0 {
+			*budget -= pktCredits
+			if *budget < 0 {
+				*budget = 0
+			}
+			return e.VL
+		}
+		*idx = (*idx + 1) % len(entries)
+		*budget = entries[*idx].Weight
+	}
+	return -1
+}

@@ -1,0 +1,117 @@
+package ib
+
+import "testing"
+
+func TestVLArbDefaultFairness(t *testing.T) {
+	arb, err := NewVLArbTable(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := []bool{true, true, true, true}
+	counts := map[int]int{}
+	for i := 0; i < 4000; i++ {
+		vl := arb.Next(ready, 1)
+		if vl < 0 {
+			t.Fatal("no grant with all VLs ready")
+		}
+		counts[vl]++
+	}
+	for vl := 0; vl < 4; vl++ {
+		if counts[vl] < 900 || counts[vl] > 1100 {
+			t.Fatalf("unfair default arbitration: %v", counts)
+		}
+	}
+}
+
+func TestVLArbRespectsWeights(t *testing.T) {
+	arb, err := NewVLArbTable(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// VL0 gets 3x the weight of VL1.
+	if err := arb.Configure(nil, []VLArbEntry{{VL: 0, Weight: 12}, {VL: 1, Weight: 4}}, 255); err != nil {
+		t.Fatal(err)
+	}
+	ready := []bool{true, true}
+	counts := map[int]int{}
+	for i := 0; i < 1600; i++ {
+		counts[arb.Next(ready, 1)]++
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("weight ratio %v, want ~3 (counts %v)", ratio, counts)
+	}
+}
+
+func TestVLArbSkipsNotReady(t *testing.T) {
+	arb, err := NewVLArbTable(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := []bool{false, true}
+	for i := 0; i < 100; i++ {
+		if vl := arb.Next(ready, 1); vl != 1 {
+			t.Fatalf("granted VL %d while only VL1 ready", vl)
+		}
+	}
+}
+
+func TestVLArbNoneReady(t *testing.T) {
+	arb, err := NewVLArbTable(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vl := arb.Next([]bool{false, false}, 1); vl != -1 {
+		t.Fatalf("granted VL %d with nothing ready", vl)
+	}
+}
+
+func TestVLArbHighPriorityPreempts(t *testing.T) {
+	arb, err := NewVLArbTable(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arb.Configure(
+		[]VLArbEntry{{VL: 0, Weight: 255}},
+		[]VLArbEntry{{VL: 1, Weight: 16}},
+		64,
+	); err != nil {
+		t.Fatal(err)
+	}
+	ready := []bool{true, true}
+	counts := map[int]int{}
+	for i := 0; i < 1000; i++ {
+		counts[arb.Next(ready, 1)]++
+	}
+	if counts[0] <= counts[1] {
+		t.Fatalf("high-priority VL0 not favoured: %v", counts)
+	}
+	if counts[1] == 0 {
+		t.Fatal("low-priority VL starved despite the high-priority limit")
+	}
+}
+
+func TestVLArbConfigureValidation(t *testing.T) {
+	arb, err := NewVLArbTable(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arb.Configure([]VLArbEntry{{VL: 5, Weight: 1}}, nil, 10); err == nil {
+		t.Fatal("out-of-range VL accepted")
+	}
+	if err := arb.Configure(nil, []VLArbEntry{{VL: 0, Weight: 300}}, 10); err == nil {
+		t.Fatal("weight 300 accepted")
+	}
+	if err := arb.Configure(nil, nil, -1); err == nil {
+		t.Fatal("negative limit accepted")
+	}
+}
+
+func TestVLArbRejectsBadShape(t *testing.T) {
+	if _, err := NewVLArbTable(0); err == nil {
+		t.Fatal("0 VLs accepted")
+	}
+	if _, err := NewVLArbTable(MaxVLs + 1); err == nil {
+		t.Fatal("17 VLs accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ibasim/internal/sim"
+)
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	for v := sim.Time(1); v <= 1000; v++ {
+		h.Add(v)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	// The median of 1..1000 is ~500; the bucket upper bound must be
+	// >= 500 and within one power of two.
+	med := h.Quantile(0.5)
+	if med < 500 || med > 1024 {
+		t.Fatalf("median bound %v outside [500, 1024]", med)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 990 || p99 > 2048 {
+		t.Fatalf("p99 bound %v outside [990, 2048]", p99)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile not 0")
+	}
+	if !strings.Contains(h.String(), "empty") {
+		t.Fatalf("String = %q", h.String())
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	var h Histogram
+	h.Add(100)
+	for _, q := range []float64{0.01, 0.5, 1} {
+		if b := h.Quantile(q); b < 100 || b > 128 {
+			t.Fatalf("Quantile(%v) = %v for single sample 100", q, b)
+		}
+	}
+}
+
+func TestHistogramClampsArguments(t *testing.T) {
+	var h Histogram
+	h.Add(-5) // clamped to 0
+	h.Add(7)
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Quantile(-1) > h.Quantile(2) {
+		t.Fatal("clamped quantiles disordered")
+	}
+}
+
+// TestHistogramQuantileMonotonic: quantiles never decrease in q, and
+// every sample is <= the q=1 bound.
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		max := sim.Time(0)
+		for _, v := range raw {
+			tv := sim.Time(v % 1_000_000)
+			if tv > max {
+				max = tv
+			}
+			h.Add(tv)
+		}
+		prev := sim.Time(0)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.9, 0.99, 1} {
+			b := h.Quantile(q)
+			if b < prev {
+				return false
+			}
+			prev = b
+		}
+		return h.Quantile(1) >= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramStringListsBuckets(t *testing.T) {
+	var h Histogram
+	h.Add(3)
+	h.Add(100)
+	s := h.String()
+	if !strings.Contains(s, ":1") {
+		t.Fatalf("String = %q", s)
+	}
+}

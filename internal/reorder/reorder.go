@@ -1,0 +1,105 @@
+// Package reorder implements destination-side packet reordering, the
+// companion mechanism §1 of the paper sketches for traffic that needs
+// in-order delivery but still wants adaptive routing: "in-order
+// packets could also use adaptive routing if packets were reordered at
+// the destination host before being delivered."
+//
+// A Buffer tracks, per (source, destination) flow, the next expected
+// sequence number; packets arriving early are parked until their
+// predecessors show up. The cost of adaptivity for ordered traffic is
+// then visible as buffer occupancy and added delivery latency, both of
+// which the Buffer reports.
+package reorder
+
+import (
+	"ibasim/internal/ib"
+	"ibasim/internal/sim"
+)
+
+type flowKey struct{ src, dst int }
+
+// Buffer reassembles sequence order per flow.
+type Buffer struct {
+	expected map[flowKey]uint64
+	held     map[flowKey]map[uint64]*ib.Packet
+
+	// Stats.
+	Parked       uint64 // packets that had to wait
+	PassedThru   uint64 // packets released immediately
+	CurrentHeld  int
+	PeakHeld     int
+	ReorderDelay sim.Time // total extra waiting summed over parked packets
+
+	arrival map[uint64]sim.Time // packet ID -> arrival time, for delay accounting
+}
+
+// NewBuffer returns an empty reorder buffer.
+func NewBuffer() *Buffer {
+	return &Buffer{
+		expected: make(map[flowKey]uint64),
+		held:     make(map[flowKey]map[uint64]*ib.Packet),
+		arrival:  make(map[uint64]sim.Time),
+	}
+}
+
+// Deliver accepts a packet arriving at the destination at time now and
+// returns the packets releasable in order (possibly none, possibly a
+// run ending with previously parked successors). Packets of a flow
+// must carry the per-flow SeqNo the fabric assigns at injection.
+func (b *Buffer) Deliver(p *ib.Packet, now sim.Time) []*ib.Packet {
+	key := flowKey{src: p.Src, dst: p.Dst}
+	next := b.expected[key]
+	if p.SeqNo != next {
+		// Early: park it. (Late duplicates cannot happen — the fabric
+		// neither drops nor duplicates — so SeqNo > next always.)
+		if b.held[key] == nil {
+			b.held[key] = make(map[uint64]*ib.Packet)
+		}
+		b.held[key][p.SeqNo] = p
+		b.arrival[p.ID] = now
+		b.Parked++
+		b.CurrentHeld++
+		if b.CurrentHeld > b.PeakHeld {
+			b.PeakHeld = b.CurrentHeld
+		}
+		return nil
+	}
+	// In order: release it and any parked run behind it.
+	out := []*ib.Packet{p}
+	b.PassedThru++
+	next++
+	for {
+		q, ok := b.held[key][next]
+		if !ok {
+			break
+		}
+		delete(b.held[key], next)
+		b.CurrentHeld--
+		b.ReorderDelay += now - b.arrival[q.ID]
+		delete(b.arrival, q.ID)
+		out = append(out, q)
+		next++
+	}
+	b.expected[key] = next
+	return out
+}
+
+// Held returns the number of packets currently parked.
+func (b *Buffer) Held() int { return b.CurrentHeld }
+
+// AvgReorderDelay returns the mean extra waiting of parked packets.
+func (b *Buffer) AvgReorderDelay() float64 {
+	if b.Parked == 0 {
+		return 0
+	}
+	return float64(b.ReorderDelay) / float64(b.Parked)
+}
+
+// ParkedFraction returns the share of deliveries that had to wait.
+func (b *Buffer) ParkedFraction() float64 {
+	total := b.Parked + b.PassedThru
+	if total == 0 {
+		return 0
+	}
+	return float64(b.Parked) / float64(total)
+}

@@ -1,0 +1,124 @@
+package routing
+
+import (
+	"fmt"
+
+	"ibasim/internal/topology"
+)
+
+// FA is the Fully Adaptive routing function of §3: for each
+// (switch, destination switch) pair it provides
+//
+//   - Escape[s][d]: the up*/down* deterministic next hop (always
+//     usable, guarantees deadlock freedom through the escape queues);
+//   - Adaptive[s][d]: every neighbour on a minimal path toward d
+//     (fully adaptive minimal options, served through adaptive queues).
+//
+// Minimality of the adaptive options is what bounds livelock: a packet
+// only makes non-minimal moves on the escape path, and escape moves
+// are taken only when no minimal option has room (§3's preference for
+// minimal paths).
+type FA struct {
+	Det *Deterministic
+	// Adaptive[s][d] lists minimal next-hop switches from s toward d,
+	// sorted ascending; empty when s == d.
+	Adaptive [][][]int
+}
+
+// NewFA computes the FA routing function on top of an up*/down*
+// deterministic routing.
+func NewFA(det *Deterministic) *FA {
+	t := det.UD.Topo
+	n := t.NumSwitches
+	dists := t.AllDistances()
+	adaptive := make([][][]int, n)
+	for s := 0; s < n; s++ {
+		adaptive[s] = make([][]int, n)
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			var opts []int
+			for _, m := range t.Neighbors(s) { // sorted, so opts sorted
+				if dists[m][d] == dists[s][d]-1 {
+					opts = append(opts, m)
+				}
+			}
+			adaptive[s][d] = opts
+		}
+	}
+	return &FA{Det: det, Adaptive: adaptive}
+}
+
+// Escape returns the escape (up*/down*) next hop from s toward d.
+func (f *FA) Escape(s, d int) int { return f.Det.NextHop[s][d] }
+
+// Options returns the adaptive next hops from s toward d capped at
+// maxOptions entries (the paper's "MR" — maximum routing options per
+// switch); maxOptions <= 0 means uncapped.
+func (f *FA) Options(s, d, maxOptions int) []int {
+	opts := f.Adaptive[s][d]
+	if maxOptions > 0 && len(opts) > maxOptions {
+		opts = opts[:maxOptions]
+	}
+	return opts
+}
+
+// Validate checks FA invariants for every pair: adaptive options are
+// exactly the minimal next hops, and the escape hop exists.
+func (f *FA) Validate() error {
+	t := f.Det.UD.Topo
+	dists := t.AllDistances()
+	for s := 0; s < t.NumSwitches; s++ {
+		for d := 0; d < t.NumSwitches; d++ {
+			if s == d {
+				continue
+			}
+			if f.Escape(s, d) < 0 {
+				return fmt.Errorf("routing: missing escape hop %d -> %d", s, d)
+			}
+			for _, m := range f.Adaptive[s][d] {
+				if dists[m][d] != dists[s][d]-1 {
+					return fmt.Errorf("routing: non-minimal adaptive option %d from %d to %d", m, s, d)
+				}
+			}
+			if len(f.Adaptive[s][d]) == 0 {
+				return fmt.Errorf("routing: no adaptive option %d -> %d (graph connected, so impossible)", s, d)
+			}
+		}
+	}
+	return nil
+}
+
+// OptionsHistogram returns the distribution of routing-option counts
+// over (switch, destination) pairs with s != d: hist[k] is the number
+// of pairs offering exactly k = min(#minimal next hops, cap) options.
+// This is the quantity behind the paper's Table 2 ("average percentage
+// of routing options at each switch for each destination", capped at
+// MR); internal/experiments formats it into the table's rows.
+func (f *FA) OptionsHistogram(cap int) []int {
+	hist := make([]int, cap+1) // hist[k] = pairs with k options
+	t := f.Det.UD.Topo
+	for s := 0; s < t.NumSwitches; s++ {
+		for d := 0; d < t.NumSwitches; d++ {
+			if s == d {
+				continue
+			}
+			k := len(f.Adaptive[s][d])
+			if k > cap {
+				k = cap
+			}
+			if k < 1 {
+				k = 1
+			}
+			hist[k]++
+		}
+	}
+	return hist
+}
+
+// MinimalPathExists reports whether dst is reachable from src (always
+// true on validated topologies; used by property tests).
+func MinimalPathExists(t *topology.Topology, src, dst int) bool {
+	return t.Distances(src)[dst] >= 0
+}

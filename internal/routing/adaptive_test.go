@@ -1,0 +1,164 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ibasim/internal/topology"
+)
+
+func mustFA(t testing.TB, top *topology.Topology) *FA {
+	t.Helper()
+	return NewFA(mustUD(t, top).Tables())
+}
+
+func TestFAValidatePaperSizes(t *testing.T) {
+	for _, n := range []int{8, 16, 32, 64} {
+		fa := mustFA(t, irregular(t, n, 4, uint64(n)*13))
+		if err := fa.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestFAAdaptiveOptionsAreMinimal(t *testing.T) {
+	top := irregular(t, 16, 4, 21)
+	fa := mustFA(t, top)
+	dists := top.AllDistances()
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			if s == d {
+				continue
+			}
+			for _, m := range fa.Adaptive[s][d] {
+				if dists[m][d] != dists[s][d]-1 {
+					t.Fatalf("option %d from %d to %d not minimal", m, s, d)
+				}
+			}
+		}
+	}
+}
+
+func TestFAAdaptiveOptionsComplete(t *testing.T) {
+	// Every minimal next hop must be offered (fully adaptive).
+	top := irregular(t, 16, 4, 22)
+	fa := mustFA(t, top)
+	dists := top.AllDistances()
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			if s == d {
+				continue
+			}
+			want := 0
+			for _, m := range top.Neighbors(s) {
+				if dists[m][d] == dists[s][d]-1 {
+					want++
+				}
+			}
+			if got := len(fa.Adaptive[s][d]); got != want {
+				t.Fatalf("options(%d,%d) = %d, want %d", s, d, got, want)
+			}
+		}
+	}
+}
+
+func TestFAOptionsCap(t *testing.T) {
+	top := irregular(t, 32, 6, 23)
+	fa := mustFA(t, top)
+	for s := 0; s < 32; s++ {
+		for d := 0; d < 32; d++ {
+			if s == d {
+				continue
+			}
+			if got := len(fa.Options(s, d, 2)); got > 2 {
+				t.Fatalf("Options cap 2 returned %d options", got)
+			}
+			all := fa.Options(s, d, 0)
+			if len(all) != len(fa.Adaptive[s][d]) {
+				t.Fatal("uncapped Options truncated")
+			}
+		}
+	}
+}
+
+func TestFAEscapeMatchesDeterministic(t *testing.T) {
+	top := irregular(t, 16, 4, 24)
+	det := mustUD(t, top).Tables()
+	fa := NewFA(det)
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			if fa.Escape(s, d) != det.NextHop[s][d] {
+				t.Fatalf("escape(%d,%d) != deterministic next hop", s, d)
+			}
+		}
+	}
+}
+
+func TestFADirectNeighborSingleOption(t *testing.T) {
+	// When d is adjacent to s, the only minimal option is d itself.
+	top := irregular(t, 8, 4, 25)
+	fa := mustFA(t, top)
+	for s := 0; s < 8; s++ {
+		for _, d := range top.Neighbors(s) {
+			opts := fa.Adaptive[s][d]
+			if len(opts) != 1 || opts[0] != d {
+				t.Fatalf("adjacent options(%d,%d) = %v, want [%d]", s, d, opts, d)
+			}
+		}
+	}
+}
+
+func TestOptionsHistogramSumsToPairs(t *testing.T) {
+	top := irregular(t, 16, 4, 26)
+	fa := mustFA(t, top)
+	hist := fa.OptionsHistogram(4)
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	if want := 16 * 15; total != want {
+		t.Fatalf("histogram total = %d, want %d", total, want)
+	}
+	if hist[0] != 0 {
+		t.Fatalf("histogram reports %d pairs with zero options", hist[0])
+	}
+}
+
+func TestOptionsHistogramConnectivityEffect(t *testing.T) {
+	// The paper's Table 2 observation: higher connectivity yields more
+	// pairs with >= 2 routing options. Compare degree 4 vs 6 at 32
+	// switches (averaged over a few seeds to damp noise).
+	multi := func(k int) float64 {
+		tot, multi := 0, 0
+		for seed := uint64(0); seed < 5; seed++ {
+			top := irregular(t, 32, k, 900+seed)
+			hist := mustFA(t, top).OptionsHistogram(4)
+			for opts, c := range hist {
+				tot += c
+				if opts >= 2 {
+					multi += c
+				}
+			}
+		}
+		return float64(multi) / float64(tot)
+	}
+	if m4, m6 := multi(4), multi(6); m6 <= m4 {
+		t.Fatalf("6-link multi-option share %.3f not above 4-link %.3f", m6, m4)
+	}
+}
+
+// TestFAPropertyAcrossSeeds: option sets valid on random topologies.
+func TestFAPropertyAcrossSeeds(t *testing.T) {
+	f := func(seed uint64) bool {
+		top, err := topology.GenerateIrregular(topology.IrregularSpec{
+			NumSwitches: 16, HostsPerSwitch: 4, InterSwitch: 4, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		return mustFA(t, top).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

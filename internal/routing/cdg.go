@@ -1,0 +1,133 @@
+package routing
+
+import "fmt"
+
+// This file implements the channel dependency graph (CDG) analysis
+// used to verify deadlock freedom. Following Duato's theory (which §3
+// of the paper invokes), the FA routing is deadlock-free iff its
+// escape sub-network is: packets blocked on adaptive queues can always
+// select the escape option, and the escape network — the up*/down*
+// routing on escape queues — must have an acyclic channel dependency
+// graph.
+//
+// A channel here is a directed inter-switch link (a -> b). The escape
+// routing induces a dependency c1 -> c2 when some packet held by c1
+// may request c2 next, i.e. when the deterministic tables route some
+// destination over c1 = (s, m) and then c2 = (m, x).
+
+// channelID encodes the directed link a->b of an n-switch topology.
+func channelID(a, b, n int) int { return a*n + b }
+
+// EscapeCDG builds the dependency adjacency of the escape network:
+// dep[c1] lists the channels some packet can request while holding c1.
+func EscapeCDG(det *Deterministic) map[int][]int {
+	n := det.UD.Topo.NumSwitches
+	depSet := make(map[int]map[int]bool)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			m := det.NextHop[s][d]
+			if m == d {
+				continue // delivered at m, no further channel needed
+			}
+			x := det.NextHop[m][d]
+			c1 := channelID(s, m, n)
+			c2 := channelID(m, x, n)
+			if depSet[c1] == nil {
+				depSet[c1] = make(map[int]bool)
+			}
+			depSet[c1][c2] = true
+		}
+	}
+	dep := make(map[int][]int, len(depSet))
+	for c, set := range depSet {
+		for c2 := range set {
+			dep[c] = append(dep[c], c2)
+		}
+	}
+	return dep
+}
+
+// FindCycle returns a cycle in the dependency graph as a channel-ID
+// sequence (first == last), or nil if the graph is acyclic.
+func FindCycle(dep map[int][]int) []int {
+	const (
+		white = 0 // unvisited
+		gray  = 1 // on stack
+		black = 2 // done
+	)
+	color := make(map[int]int)
+	parent := make(map[int]int)
+	var cycleStart, cycleEnd = -1, -1
+
+	var dfs func(c int) bool
+	dfs = func(c int) bool {
+		color[c] = gray
+		for _, nxt := range dep[c] {
+			switch color[nxt] {
+			case white:
+				parent[nxt] = c
+				if dfs(nxt) {
+					return true
+				}
+			case gray:
+				cycleStart, cycleEnd = nxt, c
+				return true
+			}
+		}
+		color[c] = black
+		return false
+	}
+	for c := range dep {
+		if color[c] == white && dfs(c) {
+			// Reconstruct the cycle by walking parents back from
+			// cycleEnd to cycleStart.
+			cycle := []int{cycleStart}
+			for v := cycleEnd; v != cycleStart; v = parent[v] {
+				cycle = append(cycle, v)
+			}
+			cycle = append(cycle, cycleStart)
+			// Reverse into forward order.
+			for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+				cycle[i], cycle[j] = cycle[j], cycle[i]
+			}
+			return cycle
+		}
+	}
+	return nil
+}
+
+// VerifyDeadlockFree asserts that the escape network's CDG is acyclic
+// and returns a descriptive error naming the offending cycle if not.
+func VerifyDeadlockFree(det *Deterministic) error {
+	return VerifyDeadlockFreeAll([]*Deterministic{det})
+}
+
+// VerifyDeadlockFreeAll checks the union channel dependency graph of
+// several deterministic routings sharing one network — the situation
+// of source-selected multipath, where every packet follows one of the
+// routings end to end. The union must be acyclic for the mixture to
+// be deadlock-free.
+func VerifyDeadlockFreeAll(dets []*Deterministic) error {
+	if len(dets) == 0 {
+		return nil
+	}
+	union := make(map[int][]int)
+	for _, det := range dets {
+		for c, deps := range EscapeCDG(det) {
+			union[c] = append(union[c], deps...)
+		}
+	}
+	cycle := FindCycle(union)
+	if cycle == nil {
+		return nil
+	}
+	n := dets[0].UD.Topo.NumSwitches
+	out := "routing: escape CDG cycle:"
+	for _, c := range cycle {
+		out += fmt.Sprintf(" (%d->%d)", c/n, c%n)
+	}
+	return fmt.Errorf("%s", out)
+}

@@ -1,0 +1,137 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ibasim/internal/topology"
+)
+
+func TestEscapeCDGAcyclicPaperSizes(t *testing.T) {
+	for _, n := range []int{8, 16, 32, 64} {
+		for _, k := range []int{4, 6} {
+			top := irregular(t, n, k, uint64(n*k))
+			det := mustUD(t, top).Tables()
+			if err := VerifyDeadlockFree(det); err != nil {
+				t.Fatalf("n=%d k=%d: %v", n, k, err)
+			}
+		}
+	}
+}
+
+func TestFindCycleDetectsKnownCycle(t *testing.T) {
+	dep := map[int][]int{1: {2}, 2: {3}, 3: {1}}
+	cycle := FindCycle(dep)
+	if cycle == nil {
+		t.Fatal("missed a 3-cycle")
+	}
+	if cycle[0] != cycle[len(cycle)-1] {
+		t.Fatalf("cycle %v does not close", cycle)
+	}
+	if len(cycle) != 4 {
+		t.Fatalf("cycle %v has wrong length", cycle)
+	}
+	// Each consecutive pair must be a real edge.
+	for i := 0; i+1 < len(cycle); i++ {
+		found := false
+		for _, n := range dep[cycle[i]] {
+			if n == cycle[i+1] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("cycle %v uses non-edge %d->%d", cycle, cycle[i], cycle[i+1])
+		}
+	}
+}
+
+func TestFindCycleAcyclicGraph(t *testing.T) {
+	dep := map[int][]int{1: {2, 3}, 2: {4}, 3: {4}, 4: nil}
+	if c := FindCycle(dep); c != nil {
+		t.Fatalf("false cycle %v in a DAG", c)
+	}
+}
+
+func TestFindCycleSelfLoop(t *testing.T) {
+	dep := map[int][]int{7: {7}}
+	if c := FindCycle(dep); c == nil {
+		t.Fatal("missed self-loop")
+	}
+}
+
+func TestFindCycleEmpty(t *testing.T) {
+	if c := FindCycle(map[int][]int{}); c != nil {
+		t.Fatalf("cycle %v in empty graph", c)
+	}
+}
+
+func TestEscapeCDGCoversUsedChannels(t *testing.T) {
+	// Every multi-hop route contributes its first channel's dependency.
+	top := irregular(t, 16, 4, 31)
+	det := mustUD(t, top).Tables()
+	dep := EscapeCDG(det)
+	n := top.NumSwitches
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			m := det.NextHop[s][d]
+			if m == d {
+				continue
+			}
+			c1 := channelID(s, m, n)
+			c2 := channelID(m, det.NextHop[m][d], n)
+			found := false
+			for _, c := range dep[c1] {
+				if c == c2 {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("dependency (%d->%d)->(%d->%d) missing", s, m, m, det.NextHop[m][d])
+			}
+		}
+	}
+}
+
+// TestDeadlockFreedomProperty is the paper's §3 deadlock-freedom claim
+// checked mechanically across random topologies: the escape network's
+// channel dependency graph is always acyclic.
+func TestDeadlockFreedomProperty(t *testing.T) {
+	f := func(seed uint64, dense bool) bool {
+		k := 4
+		if dense {
+			k = 6
+		}
+		top, err := topology.GenerateIrregular(topology.IrregularSpec{
+			NumSwitches: 16, HostsPerSwitch: 4, InterSwitch: k, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		det := mustUD(t, top).Tables()
+		return VerifyDeadlockFree(det) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTables64(b *testing.B) {
+	top := irregular(b, 64, 4, 1)
+	ud := mustUD(b, top)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ud.Tables()
+	}
+}
+
+func BenchmarkNewFA64(b *testing.B) {
+	top := irregular(b, 64, 4, 1)
+	det := mustUD(b, top).Tables()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewFA(det)
+	}
+}

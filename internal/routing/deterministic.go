@@ -1,0 +1,103 @@
+package routing
+
+import "fmt"
+
+// Deterministic is the destination-indexed up*/down* routing function:
+// the escape/deterministic routing the paper stores at the first LID
+// of each destination's address range.
+type Deterministic struct {
+	UD *UpDown
+	// NextHop[s][d] is the neighbour switch s forwards to for
+	// destination switch d (-1 when s == d).
+	NextHop [][]int
+	// PathLen[s][d] is the hop count of the table path from s to d.
+	PathLen [][]int
+}
+
+// Path returns the switch sequence from src to dst following the
+// tables, including both endpoints. It errors if the tables do not
+// converge within NumSwitches hops (which would indicate a routing
+// loop and is asserted against in tests).
+func (r *Deterministic) Path(src, dst int) ([]int, error) {
+	n := r.UD.Topo.NumSwitches
+	path := []int{src}
+	cur := src
+	for cur != dst {
+		nxt := r.NextHop[cur][dst]
+		if nxt < 0 {
+			return nil, fmt.Errorf("routing: no next hop from %d to %d", cur, dst)
+		}
+		path = append(path, nxt)
+		cur = nxt
+		if len(path) > n {
+			return nil, fmt.Errorf("routing: loop routing %d -> %d: %v", src, dst, path)
+		}
+	}
+	return path, nil
+}
+
+// Legal reports whether the switch sequence is a legal up*/down* path:
+// zero or more up moves followed by zero or more down moves, with no
+// up move after a down move.
+func (r *Deterministic) Legal(path []int) bool {
+	goneDown := false
+	for i := 0; i+1 < len(path); i++ {
+		up := r.UD.IsUp(path[i], path[i+1])
+		if up && goneDown {
+			return false
+		}
+		if !up {
+			goneDown = true
+		}
+	}
+	return true
+}
+
+// Validate checks every source/destination pair: the table path
+// exists, is loop-free, and is legal up*/down*.
+func (r *Deterministic) Validate() error {
+	n := r.UD.Topo.NumSwitches
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			p, err := r.Path(s, d)
+			if err != nil {
+				return err
+			}
+			if !r.Legal(p) {
+				return fmt.Errorf("routing: illegal up*/down* path %v", p)
+			}
+			if len(p)-1 != r.PathLen[s][d] {
+				return fmt.Errorf("routing: PathLen[%d][%d] = %d but path %v",
+					s, d, r.PathLen[s][d], p)
+			}
+		}
+	}
+	return nil
+}
+
+// AvgPathLength returns the mean table-path length over ordered pairs
+// and the mean shortest-path length, exposing how non-minimal
+// up*/down* is on this topology (the effect the paper attributes the
+// FA gains to).
+func (r *Deterministic) AvgPathLength() (table, shortest float64) {
+	n := r.UD.Topo.NumSwitches
+	dists := r.UD.Topo.AllDistances()
+	var tSum, sSum, count int
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			tSum += r.PathLen[s][d]
+			sSum += dists[s][d]
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, 0
+	}
+	return float64(tSum) / float64(count), float64(sSum) / float64(count)
+}

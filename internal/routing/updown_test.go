@@ -1,0 +1,207 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ibasim/internal/topology"
+)
+
+func irregular(t testing.TB, n, k int, seed uint64) *topology.Topology {
+	t.Helper()
+	top, err := topology.GenerateIrregular(topology.IrregularSpec{
+		NumSwitches: n, HostsPerSwitch: 4, InterSwitch: k, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func mustUD(t testing.TB, top *topology.Topology) *UpDown {
+	t.Helper()
+	ud, err := NewUpDown(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ud
+}
+
+func TestUpDownRootHasLevelZero(t *testing.T) {
+	top := irregular(t, 16, 4, 1)
+	ud := mustUD(t, top)
+	if ud.Level[ud.Root] != 0 {
+		t.Fatalf("root level = %d", ud.Level[ud.Root])
+	}
+	for s, l := range ud.Level {
+		if l < 0 {
+			t.Fatalf("switch %d unreachable from root", s)
+		}
+	}
+}
+
+func TestUpDownRootedRejectsBadRoot(t *testing.T) {
+	top := irregular(t, 8, 4, 1)
+	if _, err := NewUpDownRooted(top, -1); err == nil {
+		t.Fatal("negative root accepted")
+	}
+	if _, err := NewUpDownRooted(top, 8); err == nil {
+		t.Fatal("out-of-range root accepted")
+	}
+}
+
+func TestUpDownRejectsDisconnected(t *testing.T) {
+	top := topology.New(4, 4, 8)
+	if err := top.AddLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.AddLink(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewUpDown(top); err == nil {
+		t.Fatal("disconnected topology accepted")
+	}
+}
+
+func TestLinkDirectionIsTotal(t *testing.T) {
+	top := irregular(t, 16, 4, 7)
+	ud := mustUD(t, top)
+	for _, l := range top.Links {
+		up1 := ud.IsUp(l.A, l.B)
+		up2 := ud.IsUp(l.B, l.A)
+		if up1 == up2 {
+			t.Fatalf("link (%d,%d): both directions report up=%v", l.A, l.B, up1)
+		}
+	}
+}
+
+func TestUpMovesDecreaseLevelKey(t *testing.T) {
+	top := irregular(t, 32, 4, 3)
+	ud := mustUD(t, top)
+	for _, l := range top.Links {
+		from, to := l.A, l.B
+		if !ud.IsUp(from, to) {
+			from, to = to, from
+		}
+		// from -> to is up: (level, id) must strictly decrease.
+		if ud.Level[to] > ud.Level[from] ||
+			(ud.Level[to] == ud.Level[from] && to > from) {
+			t.Fatalf("up move %d->%d does not decrease (level,id)", from, to)
+		}
+	}
+}
+
+func TestTablesAllPairsLegal(t *testing.T) {
+	for _, n := range []int{8, 16, 32} {
+		top := irregular(t, n, 4, uint64(n))
+		det := mustUD(t, top).Tables()
+		if err := det.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestTablesLinePathIsDirect(t *testing.T) {
+	top, err := topology.Line(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud, err := NewUpDownRooted(top, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := ud.Tables()
+	p, err := det.Path(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3, 4}
+	if len(p) != len(want) {
+		t.Fatalf("path = %v, want %v", p, want)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("path = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestTablesSelfHasNoHop(t *testing.T) {
+	top := irregular(t, 8, 4, 2)
+	det := mustUD(t, top).Tables()
+	for s := 0; s < 8; s++ {
+		if det.NextHop[s][s] != -1 {
+			t.Fatalf("NextHop[%d][%d] = %d, want -1", s, s, det.NextHop[s][s])
+		}
+		if det.PathLen[s][s] != 0 {
+			t.Fatalf("PathLen[%d][%d] = %d, want 0", s, s, det.PathLen[s][s])
+		}
+	}
+}
+
+func TestTablePathsNeverShorterThanShortest(t *testing.T) {
+	top := irregular(t, 16, 4, 11)
+	det := mustUD(t, top).Tables()
+	dists := top.AllDistances()
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			if s == d {
+				continue
+			}
+			if det.PathLen[s][d] < dists[s][d] {
+				t.Fatalf("table path %d->%d shorter than shortest path", s, d)
+			}
+		}
+	}
+}
+
+func TestLegalDetectsIllegalPath(t *testing.T) {
+	top, err := topology.Line(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud, err := NewUpDownRooted(top, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := ud.Tables()
+	// With root 1: moving 1->0 is down (away from root), then 0->1 is
+	// up: a down-then-up sequence must be illegal.
+	if det.Legal([]int{1, 0, 1, 2}) {
+		t.Fatal("down-then-up path reported legal")
+	}
+	if !det.Legal([]int{0, 1, 2, 3}) {
+		t.Fatal("legal path reported illegal")
+	}
+}
+
+func TestUpDownRootCongestionSignature(t *testing.T) {
+	// The paper attributes up*/down* scaling problems to root
+	// congestion and non-minimal paths; verify table paths are on
+	// average at least as long as shortest paths on a large topology.
+	top := irregular(t, 64, 4, 5)
+	det := mustUD(t, top).Tables()
+	table, shortest := det.AvgPathLength()
+	if table < shortest {
+		t.Fatalf("avg table path %v < avg shortest %v", table, shortest)
+	}
+}
+
+// TestTablesPropertyLegalAcrossSeeds validates legality and loop
+// freedom over randomly seeded topologies — the repository-wide core
+// correctness property of the escape routing.
+func TestTablesPropertyLegalAcrossSeeds(t *testing.T) {
+	f := func(seed uint64) bool {
+		top, err := topology.GenerateIrregular(topology.IrregularSpec{
+			NumSwitches: 16, HostsPerSwitch: 4, InterSwitch: 4, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		det := mustUD(t, top).Tables()
+		return det.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

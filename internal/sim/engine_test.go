@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var fired Time = -1
+	e.Schedule(42, func() { fired = e.Now() })
+	e.RunUntilIdle()
+	if fired != 42 {
+		t.Fatalf("event fired at %v, want 42", fired)
+	}
+	if e.Now() != 42 {
+		t.Fatalf("Now() = %v, want 42", e.Now())
+	}
+}
+
+func TestEventsDispatchInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.RunUntilIdle()
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEqualTimestampsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.RunUntilIdle()
+	if len(order) != 100 {
+		t.Fatalf("dispatched %d events, want 100", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (FIFO violated)", i, v, i)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.Schedule(10, func() {
+		times = append(times, e.Now())
+		e.Schedule(5, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.RunUntilIdle()
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Fatalf("times = %v, want [10 15]", times)
+	}
+}
+
+func TestScheduleAtCurrentTimeRunsAfterCurrentEvent(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(10, func() {
+		e.Schedule(0, func() { order = append(order, "child") })
+		order = append(order, "parent")
+	})
+	e.Schedule(10, func() { order = append(order, "sibling") })
+	e.RunUntilIdle()
+	want := []string{"parent", "sibling", "child"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRunHorizonStopsLaterEvents(t *testing.T) {
+	e := NewEngine()
+	ran := map[Time]bool{}
+	for _, d := range []Time{5, 10, 15, 20} {
+		d := d
+		e.Schedule(d, func() { ran[d] = true })
+	}
+	e.Run(10)
+	if !ran[5] || !ran[10] {
+		t.Fatalf("events at/before horizon did not run: %v", ran)
+	}
+	if ran[15] || ran[20] {
+		t.Fatalf("events after horizon ran: %v", ran)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+	// A later Run picks the rest up.
+	e.Run(Forever)
+	if !ran[15] || !ran[20] {
+		t.Fatalf("resumed run missed events: %v", ran)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(-1) did not panic")
+		}
+	}()
+	e.Schedule(-1, func() {})
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	e.RunUntilIdle()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(past) did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestNilEventPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At with nil fn did not panic")
+		}
+	}()
+	e.At(0, nil)
+}
+
+func TestStep(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Schedule(1, func() { n++ })
+	e.Schedule(2, func() { n++ })
+	if !e.Step() || n != 1 {
+		t.Fatalf("first Step: n = %d, want 1", n)
+	}
+	if !e.Step() || n != 2 {
+		t.Fatalf("second Step: n = %d, want 2", n)
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 17; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.RunUntilIdle()
+	if e.Processed() != 17 {
+		t.Fatalf("Processed() = %d, want 17", e.Processed())
+	}
+}
+
+// TestHeapOrderingProperty feeds random delay sequences through the
+// queue and checks the dispatch order is non-decreasing in time.
+func TestHeapOrderingProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var fired []Time
+		for _, d := range delays {
+			e.Schedule(Time(d), func() { fired = append(fired, e.Now()) })
+		}
+		e.RunUntilIdle()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyEventsStress(t *testing.T) {
+	e := NewEngine()
+	r := NewRNG(1)
+	const n = 100000
+	count := 0
+	for i := 0; i < n; i++ {
+		e.Schedule(Time(r.Intn(1000000)), func() { count++ })
+	}
+	e.RunUntilIdle()
+	if count != n {
+		t.Fatalf("count = %d, want %d", count, n)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine()
+	r := NewRNG(7)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(r.Intn(1000)), fn)
+		if e.Pending() > 1024 {
+			e.RunUntilIdle()
+		}
+	}
+	e.RunUntilIdle()
+}

@@ -1,0 +1,180 @@
+package subnet
+
+import (
+	"testing"
+
+	"ibasim/internal/fabric"
+	"ibasim/internal/ib"
+	"ibasim/internal/topology"
+)
+
+func buildNet(t *testing.T, n, k int, seed uint64, lmc uint, adaptive bool) *fabric.Network {
+	t.Helper()
+	topo, err := topology.GenerateIrregular(topology.IrregularSpec{
+		NumSwitches: n, HostsPerSwitch: 4, InterSwitch: k, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return netFromTopo(t, topo, lmc, adaptive)
+}
+
+func netFromTopo(t *testing.T, topo *topology.Topology, lmc uint, adaptive bool) *fabric.Network {
+	t.Helper()
+	plan, err := ib.NewAddressPlan(topo.NumHosts(), lmc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fabric.DefaultConfig()
+	cfg.AdaptiveSwitches = adaptive
+	net, err := fabric.NewNetwork(topo, plan, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestConfigureProgramsEverySlot(t *testing.T) {
+	net := buildNet(t, 8, 4, 1, 2, true)
+	opts := Options{MaxRoutingOptions: 4, Root: -1}
+	if _, err := Configure(net, opts); err != nil {
+		t.Fatal(err)
+	}
+	for _, sw := range net.Switches {
+		for dst := 0; dst < net.Topo.NumHosts(); dst++ {
+			base := net.Plan.BaseLID(dst)
+			for off := 0; off < net.Plan.RangeSize(); off++ {
+				if sw.Table().Get(base+ib.LID(off)) == ib.InvalidPort {
+					t.Fatalf("switch %d LID %d unprogrammed", sw.ID(), base+ib.LID(off))
+				}
+			}
+		}
+	}
+}
+
+func TestConfigureEscapeSlotIsUpDownHop(t *testing.T) {
+	net := buildNet(t, 16, 4, 2, 1, true)
+	fa, err := Configure(net, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, sw := range net.Switches {
+		for dst := 0; dst < net.Topo.NumHosts(); dst++ {
+			d := net.Topo.HostSwitch(dst)
+			want := net.HostPort(dst)
+			if d != s {
+				hop := fa.Escape(s, d)
+				p, err := net.PortToNeighbor(s, hop)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = p
+			}
+			if got := sw.Table().Get(net.Plan.BaseLID(dst)); got != want {
+				t.Fatalf("switch %d dst %d escape slot = %d, want %d", s, dst, got, want)
+			}
+		}
+	}
+}
+
+func TestConfigureAdaptiveSlotsAreMinimalHops(t *testing.T) {
+	net := buildNet(t, 16, 4, 3, 2, true)
+	fa, err := Configure(net, Options{MaxRoutingOptions: 4, Root: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dists := net.Topo.AllDistances()
+	for s, sw := range net.Switches {
+		for dst := 0; dst < net.Topo.NumHosts(); dst++ {
+			d := net.Topo.HostSwitch(dst)
+			if d == s {
+				continue
+			}
+			_, adaptive, err := sw.Table().Lookup(net.Plan.DLIDFor(dst, true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range adaptive {
+				// Map the port back to a neighbour and check minimality.
+				found := false
+				for _, hop := range net.Topo.Neighbors(s) {
+					hp, err := net.PortToNeighbor(s, hop)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if hp == p {
+						found = true
+						if dists[hop][d] != dists[s][d]-1 {
+							t.Fatalf("switch %d dst %d: adaptive port %d not minimal", s, dst, p)
+						}
+					}
+				}
+				if !found {
+					t.Fatalf("switch %d dst %d: adaptive port %d is not an inter-switch port", s, dst, p)
+				}
+			}
+			_ = fa
+		}
+	}
+}
+
+func TestConfigureDeterministicOnlySwitchesUniformSlots(t *testing.T) {
+	// Baseline subnets store the escape port at every slot (§4.2).
+	net := buildNet(t, 8, 4, 4, 2, false)
+	if _, err := Configure(net, Options{MaxRoutingOptions: 4, Root: -1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, sw := range net.Switches {
+		for dst := 0; dst < net.Topo.NumHosts(); dst++ {
+			base := net.Plan.BaseLID(dst)
+			first := sw.Table().Get(base)
+			for off := 1; off < net.Plan.RangeSize(); off++ {
+				if got := sw.Table().Get(base + ib.LID(off)); got != first {
+					t.Fatalf("switch %d dst %d slot %d = %d, want %d", sw.ID(), dst, off, got, first)
+				}
+			}
+		}
+	}
+}
+
+func TestConfigureRejectsMROverLMC(t *testing.T) {
+	net := buildNet(t, 8, 4, 5, 1, true) // block size 2
+	if _, err := Configure(net, Options{MaxRoutingOptions: 3, Root: -1}); err == nil {
+		t.Fatal("MR 3 accepted with LMC 1")
+	}
+}
+
+func TestConfigureExplicitRoot(t *testing.T) {
+	net := buildNet(t, 8, 4, 6, 1, true)
+	fa, err := Configure(net, Options{MaxRoutingOptions: 2, Root: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.Det.UD.Root != 3 {
+		t.Fatalf("root = %d, want 3", fa.Det.UD.Root)
+	}
+}
+
+func TestConfigureZeroMRFillsBlock(t *testing.T) {
+	net := buildNet(t, 8, 4, 7, 2, true)
+	if _, err := Configure(net, Options{MaxRoutingOptions: 0, Root: -1}); err != nil {
+		t.Fatal(err)
+	}
+	// With MR=0 ("fill the block"), destinations with several minimal
+	// hops should expose more than one adaptive option somewhere.
+	multi := false
+	for _, sw := range net.Switches {
+		for dst := 0; dst < net.Topo.NumHosts(); dst++ {
+			_, adaptive, err := sw.Table().Lookup(net.Plan.DLIDFor(dst, true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(adaptive) > 1 {
+				multi = true
+			}
+		}
+	}
+	if !multi {
+		t.Fatal("no destination exposes multiple adaptive options")
+	}
+}

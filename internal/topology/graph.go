@@ -1,0 +1,286 @@
+// Package topology models InfiniBand subnet topologies: switches,
+// hosts (end-node ports) attached to switches, and the point-to-point
+// links between them. It provides the irregular random generator used
+// throughout the paper's evaluation plus analysis helpers (distances,
+// diameter, connectivity checks).
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Link is an undirected inter-switch cable between switches A and B.
+// A < B always holds, so a link has a canonical representation and the
+// "at most one link between neighbouring switches" constraint from the
+// paper is checkable by set membership.
+type Link struct {
+	A, B int
+}
+
+// Topology describes a subnet: NumSwitches switches, HostsPerSwitch
+// end-node ports attached to every switch, and the inter-switch links.
+// Switch IDs are 0..NumSwitches-1. Host h (0..NumHosts-1) is attached
+// to switch h / HostsPerSwitch.
+type Topology struct {
+	NumSwitches    int
+	HostsPerSwitch int
+	// SwitchPorts is the total port count of each switch (inter-switch
+	// ports + host ports). It bounds the inter-switch degree.
+	SwitchPorts int
+	Links       []Link
+
+	adj [][]int // adjacency lists, built lazily by Adjacency
+}
+
+// New returns a topology with the given shape and no links.
+func New(numSwitches, hostsPerSwitch, switchPorts int) *Topology {
+	return &Topology{
+		NumSwitches:    numSwitches,
+		HostsPerSwitch: hostsPerSwitch,
+		SwitchPorts:    switchPorts,
+	}
+}
+
+// NumHosts returns the total number of end-node ports in the subnet.
+func (t *Topology) NumHosts() int { return t.NumSwitches * t.HostsPerSwitch }
+
+// HostSwitch returns the switch a host is attached to.
+func (t *Topology) HostSwitch(host int) int { return host / t.HostsPerSwitch }
+
+// SwitchHosts returns the host IDs attached to switch s.
+func (t *Topology) SwitchHosts(s int) []int {
+	out := make([]int, t.HostsPerSwitch)
+	for i := range out {
+		out[i] = s*t.HostsPerSwitch + i
+	}
+	return out
+}
+
+// AddLink inserts the undirected link (a, b). It returns an error if
+// the link is a self-loop, duplicates an existing link, or would exceed
+// either endpoint's inter-switch port budget.
+func (t *Topology) AddLink(a, b int) error {
+	if a == b {
+		return fmt.Errorf("topology: self-loop on switch %d", a)
+	}
+	if a < 0 || b < 0 || a >= t.NumSwitches || b >= t.NumSwitches {
+		return fmt.Errorf("topology: link (%d,%d) out of range", a, b)
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if t.HasLink(a, b) {
+		return fmt.Errorf("topology: duplicate link (%d,%d)", a, b)
+	}
+	budget := t.SwitchPorts - t.HostsPerSwitch
+	if t.Degree(a) >= budget || t.Degree(b) >= budget {
+		return fmt.Errorf("topology: link (%d,%d) exceeds port budget %d", a, b, budget)
+	}
+	t.Links = append(t.Links, Link{A: a, B: b})
+	t.adj = nil
+	return nil
+}
+
+// HasLink reports whether switches a and b are directly connected.
+func (t *Topology) HasLink(a, b int) bool {
+	if a > b {
+		a, b = b, a
+	}
+	for _, l := range t.Links {
+		if l.A == a && l.B == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Degree returns the inter-switch degree of switch s.
+func (t *Topology) Degree(s int) int {
+	n := 0
+	for _, l := range t.Links {
+		if l.A == s || l.B == s {
+			n++
+		}
+	}
+	return n
+}
+
+// Adjacency returns the neighbour list of every switch, sorted
+// ascending for determinism. The result is cached; callers must not
+// mutate it.
+func (t *Topology) Adjacency() [][]int {
+	if t.adj != nil {
+		return t.adj
+	}
+	adj := make([][]int, t.NumSwitches)
+	for _, l := range t.Links {
+		adj[l.A] = append(adj[l.A], l.B)
+		adj[l.B] = append(adj[l.B], l.A)
+	}
+	for _, ns := range adj {
+		sort.Ints(ns)
+	}
+	t.adj = adj
+	return adj
+}
+
+// Neighbors returns the sorted neighbour switches of s.
+func (t *Topology) Neighbors(s int) []int { return t.Adjacency()[s] }
+
+// Connected reports whether the switch graph is connected. An empty
+// graph and a single switch are connected.
+func (t *Topology) Connected() bool {
+	if t.NumSwitches <= 1 {
+		return true
+	}
+	seen := make([]bool, t.NumSwitches)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	adj := t.Adjacency()
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, n := range adj[s] {
+			if !seen[n] {
+				seen[n] = true
+				count++
+				stack = append(stack, n)
+			}
+		}
+	}
+	return count == t.NumSwitches
+}
+
+// Validate checks the structural invariants the paper's generator
+// promises: connectivity, degree within the port budget, no duplicate
+// links (AddLink enforces the latter two; Validate re-checks for
+// topologies built by other means).
+func (t *Topology) Validate() error {
+	if t.NumSwitches <= 0 {
+		return fmt.Errorf("topology: %d switches", t.NumSwitches)
+	}
+	if t.HostsPerSwitch < 0 || t.SwitchPorts < t.HostsPerSwitch {
+		return fmt.Errorf("topology: %d ports cannot host %d end nodes",
+			t.SwitchPorts, t.HostsPerSwitch)
+	}
+	seen := map[Link]bool{}
+	for _, l := range t.Links {
+		if l.A >= l.B || l.B >= t.NumSwitches || l.A < 0 {
+			return fmt.Errorf("topology: malformed link %+v", l)
+		}
+		if seen[l] {
+			return fmt.Errorf("topology: duplicate link %+v", l)
+		}
+		seen[l] = true
+	}
+	budget := t.SwitchPorts - t.HostsPerSwitch
+	for s := 0; s < t.NumSwitches; s++ {
+		if d := t.Degree(s); d > budget {
+			return fmt.Errorf("topology: switch %d degree %d exceeds budget %d", s, d, budget)
+		}
+	}
+	if !t.Connected() {
+		return fmt.Errorf("topology: disconnected")
+	}
+	return nil
+}
+
+// Without returns a copy of the topology with the given links removed.
+// Switch count, host attachment and port budget are unchanged — the
+// copy describes the same physical network with some cables failed, so
+// routing can be recomputed while port numbering (derived from the
+// ORIGINAL adjacency) stays valid.
+func (t *Topology) Without(failed ...Link) *Topology {
+	dead := map[Link]bool{}
+	for _, l := range failed {
+		if l.A > l.B {
+			l.A, l.B = l.B, l.A
+		}
+		dead[l] = true
+	}
+	out := New(t.NumSwitches, t.HostsPerSwitch, t.SwitchPorts)
+	for _, l := range t.Links {
+		if !dead[l] {
+			out.Links = append(out.Links, l)
+		}
+	}
+	return out
+}
+
+// Distances returns the hop distance from src to every switch (BFS on
+// the switch graph). Unreachable switches get -1.
+func (t *Topology) Distances(src int) []int {
+	dist := make([]int, t.NumSwitches)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	adj := t.Adjacency()
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, n := range adj[s] {
+			if dist[n] == -1 {
+				dist[n] = dist[s] + 1
+				queue = append(queue, n)
+			}
+		}
+	}
+	return dist
+}
+
+// AllDistances returns the full switch-to-switch hop distance matrix.
+func (t *Topology) AllDistances() [][]int {
+	out := make([][]int, t.NumSwitches)
+	for s := range out {
+		out[s] = t.Distances(s)
+	}
+	return out
+}
+
+// Diameter returns the longest shortest path between any two switches,
+// or -1 if the graph is disconnected.
+func (t *Topology) Diameter() int {
+	max := 0
+	for s := 0; s < t.NumSwitches; s++ {
+		for _, d := range t.Distances(s) {
+			if d == -1 {
+				return -1
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// AvgDistance returns the mean hop distance over ordered switch pairs
+// (s != d), or 0 for a single switch.
+func (t *Topology) AvgDistance() float64 {
+	if t.NumSwitches < 2 {
+		return 0
+	}
+	sum, n := 0, 0
+	for s := 0; s < t.NumSwitches; s++ {
+		for d, v := range t.Distances(s) {
+			if d != s && v > 0 {
+				sum += v
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// String summarizes the topology shape.
+func (t *Topology) String() string {
+	return fmt.Sprintf("topology{switches: %d, hosts/switch: %d, ports: %d, links: %d}",
+		t.NumSwitches, t.HostsPerSwitch, t.SwitchPorts, len(t.Links))
+}

@@ -1,0 +1,138 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateIrregularPaperSizes(t *testing.T) {
+	for _, n := range []int{8, 16, 32, 64} {
+		for _, k := range []int{4, 6} {
+			spec := IrregularSpec{NumSwitches: n, HostsPerSwitch: 4, InterSwitch: k, Seed: 1}
+			top, err := GenerateIrregular(spec)
+			if err != nil {
+				t.Fatalf("n=%d k=%d: %v", n, k, err)
+			}
+			if err := top.Validate(); err != nil {
+				t.Fatalf("n=%d k=%d: %v", n, k, err)
+			}
+			for s := 0; s < n; s++ {
+				if d := top.Degree(s); d != k {
+					t.Fatalf("n=%d k=%d: switch %d degree %d", n, k, s, d)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateIrregularDeterministic(t *testing.T) {
+	spec := IrregularSpec{NumSwitches: 16, HostsPerSwitch: 4, InterSwitch: 4, Seed: 42}
+	a := MustGenerateIrregular(spec)
+	b := MustGenerateIrregular(spec)
+	if len(a.Links) != len(b.Links) {
+		t.Fatalf("link counts differ: %d vs %d", len(a.Links), len(b.Links))
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			t.Fatalf("link %d differs: %+v vs %+v", i, a.Links[i], b.Links[i])
+		}
+	}
+}
+
+func TestGenerateIrregularSeedsDiffer(t *testing.T) {
+	spec := IrregularSpec{NumSwitches: 16, HostsPerSwitch: 4, InterSwitch: 4}
+	spec.Seed = 1
+	a := MustGenerateIrregular(spec)
+	spec.Seed = 2
+	b := MustGenerateIrregular(spec)
+	same := true
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical topologies")
+	}
+}
+
+func TestGenerateIrregularRejectsInfeasible(t *testing.T) {
+	cases := []IrregularSpec{
+		{NumSwitches: 0, HostsPerSwitch: 4, InterSwitch: 4},
+		{NumSwitches: 4, HostsPerSwitch: 4, InterSwitch: 4},  // degree >= n
+		{NumSwitches: 5, HostsPerSwitch: 4, InterSwitch: 3},  // odd stub count
+		{NumSwitches: 8, HostsPerSwitch: -1, InterSwitch: 4}, // negative hosts
+	}
+	for _, spec := range cases {
+		if _, err := GenerateIrregular(spec); err == nil {
+			t.Fatalf("spec %+v accepted", spec)
+		}
+	}
+}
+
+func TestGenerateIrregularLinkCount(t *testing.T) {
+	// A k-regular graph on n vertices has nk/2 edges.
+	top := MustGenerateIrregular(IrregularSpec{NumSwitches: 32, HostsPerSwitch: 4, InterSwitch: 6, Seed: 3})
+	if want := 32 * 6 / 2; len(top.Links) != want {
+		t.Fatalf("links = %d, want %d", len(top.Links), want)
+	}
+}
+
+func TestGenerateSeedSet(t *testing.T) {
+	spec := IrregularSpec{NumSwitches: 8, HostsPerSwitch: 4, InterSwitch: 4}
+	set, err := GenerateSeedSet(spec, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 10 {
+		t.Fatalf("set size = %d, want 10", len(set))
+	}
+	// At least two of the ten should differ (overwhelmingly likely).
+	distinct := false
+	for i := 1; i < len(set); i++ {
+		for j := range set[0].Links {
+			if set[0].Links[j] != set[i].Links[j] {
+				distinct = true
+			}
+		}
+	}
+	if !distinct {
+		t.Fatal("all seeded topologies identical")
+	}
+}
+
+// TestIrregularPropertyInvariants checks generator invariants across
+// random seeds: regular degree, connected, single link per pair.
+func TestIrregularPropertyInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		top, err := GenerateIrregular(IrregularSpec{
+			NumSwitches: 16, HostsPerSwitch: 4, InterSwitch: 4, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		if top.Validate() != nil || !top.Connected() {
+			return false
+		}
+		for s := 0; s < top.NumSwitches; s++ {
+			if top.Degree(s) != 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGenerateIrregular64(b *testing.B) {
+	spec := IrregularSpec{NumSwitches: 64, HostsPerSwitch: 4, InterSwitch: 4}
+	for i := 0; i < b.N; i++ {
+		spec.Seed = uint64(i)
+		if _, err := GenerateIrregular(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package topology
+
+import "fmt"
+
+// The paper evaluates only irregular networks, but regular shapes are
+// invaluable for testing (known diameters, known path counts) and give
+// library users familiar reference topologies.
+
+// Ring returns a cycle of n switches (degree 2).
+func Ring(n, hostsPerSwitch int) (*Topology, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: ring needs >= 3 switches, got %d", n)
+	}
+	t := New(n, hostsPerSwitch, hostsPerSwitch+2)
+	for s := 0; s < n; s++ {
+		if err := t.AddLink(s, (s+1)%n); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Line returns a linear array of n switches (internal degree 2).
+func Line(n, hostsPerSwitch int) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: line needs >= 2 switches, got %d", n)
+	}
+	t := New(n, hostsPerSwitch, hostsPerSwitch+2)
+	for s := 0; s+1 < n; s++ {
+		if err := t.AddLink(s, s+1); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Mesh2D returns a rows x cols 2-D mesh (internal degree up to 4).
+func Mesh2D(rows, cols, hostsPerSwitch int) (*Topology, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("topology: mesh %dx%d too small", rows, cols)
+	}
+	t := New(rows*cols, hostsPerSwitch, hostsPerSwitch+4)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				if err := t.AddLink(id(r, c), id(r, c+1)); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < rows {
+				if err := t.AddLink(id(r, c), id(r+1, c)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// FullyConnected returns a complete graph on n switches.
+func FullyConnected(n, hostsPerSwitch int) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: complete graph needs >= 2 switches, got %d", n)
+	}
+	t := New(n, hostsPerSwitch, hostsPerSwitch+n-1)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if err := t.AddLink(a, b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}

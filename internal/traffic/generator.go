@@ -1,0 +1,104 @@
+package traffic
+
+import (
+	"fmt"
+
+	"ibasim/internal/fabric"
+	"ibasim/internal/sim"
+)
+
+// Config describes one workload.
+type Config struct {
+	Pattern    Pattern
+	PacketSize int // bytes; the paper uses 32 and 256
+
+	// AdaptiveFraction is the share of packets marked for adaptive
+	// routing (the paper sweeps 0%..100%). Deterministic packets use
+	// the destination's base LID, adaptive ones base+1.
+	AdaptiveFraction float64
+
+	// LoadBytesPerNsPerHost is each host's offered injection rate.
+	// Packet inter-arrival times are exponential with mean
+	// PacketSize / rate.
+	LoadBytesPerNsPerHost float64
+
+	Seed uint64
+}
+
+// Validate checks the workload shape.
+func (c Config) Validate() error {
+	if c.Pattern == nil {
+		return fmt.Errorf("traffic: nil pattern")
+	}
+	if c.PacketSize <= 0 {
+		return fmt.Errorf("traffic: packet size %d", c.PacketSize)
+	}
+	if c.AdaptiveFraction < 0 || c.AdaptiveFraction > 1 {
+		return fmt.Errorf("traffic: adaptive fraction %v out of [0,1]", c.AdaptiveFraction)
+	}
+	if c.LoadBytesPerNsPerHost <= 0 {
+		return fmt.Errorf("traffic: load %v", c.LoadBytesPerNsPerHost)
+	}
+	return nil
+}
+
+// OfferedPerSwitch converts the per-host rate to the paper's
+// bytes/ns/switch unit.
+func (c Config) OfferedPerSwitch(hostsPerSwitch int) float64 {
+	return c.LoadBytesPerNsPerHost * float64(hostsPerSwitch)
+}
+
+// Generator drives packet creation on every host of a network until a
+// stop time.
+type Generator struct {
+	cfg  Config
+	net  *fabric.Network
+	stop sim.Time
+
+	// Generated counts packets handed to source queues.
+	Generated uint64
+}
+
+// NewGenerator validates the config and binds it to a network.
+func NewGenerator(net *fabric.Network, cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PacketSize > net.Cfg.MTU {
+		return nil, fmt.Errorf("traffic: packet size %d exceeds MTU %d", cfg.PacketSize, net.Cfg.MTU)
+	}
+	return &Generator{cfg: cfg, net: net}, nil
+}
+
+// Start schedules generation on every host from the current simulated
+// time until stopAt. Each host draws from an independent RNG stream,
+// so per-host processes are uncorrelated but reproducible.
+func (g *Generator) Start(stopAt sim.Time) {
+	g.stop = stopAt
+	mean := float64(g.cfg.PacketSize) / g.cfg.LoadBytesPerNsPerHost
+	root := sim.NewRNG(g.cfg.Seed ^ 0x54524146464943)
+	for _, h := range g.net.Hosts {
+		host := h
+		rng := root.Split(uint64(h.ID()) + 1)
+		// Random initial phase avoids all hosts firing in lockstep.
+		g.net.Engine.Schedule(rng.ExpTime(mean), func() {
+			g.generate(host, rng, mean)
+		})
+	}
+}
+
+func (g *Generator) generate(host *fabric.Host, rng *sim.RNG, mean float64) {
+	now := g.net.Engine.Now()
+	if now >= g.stop {
+		return
+	}
+	if dst := g.cfg.Pattern.Dest(host.ID(), rng); dst >= 0 {
+		adaptive := rng.Bool(g.cfg.AdaptiveFraction)
+		pkt := g.net.NewPacket(host.ID(), dst, g.cfg.PacketSize, adaptive)
+		host.Inject(pkt)
+		g.Generated++
+	}
+	g.net.Engine.Schedule(rng.ExpTime(mean), func() {
+		g.generate(host, rng, mean)
+	})
+}
