@@ -71,16 +71,27 @@ func PickAdaptive(cfg SelectionConfig, cands []Candidate, rng *sim.RNG) int {
 		}
 		return best
 	}
-	eligible := make([]int, 0, len(cands))
-	for i, c := range cands {
+	// Count-then-index keeps the static pick allocation-free; the RNG
+	// consumption (one Intn over the eligible count) is unchanged.
+	eligible := 0
+	for _, c := range cands {
 		if c.Eligible {
-			eligible = append(eligible, i)
+			eligible++
 		}
 	}
-	if len(eligible) == 0 {
+	if eligible == 0 {
 		return -1
 	}
-	return eligible[rng.Intn(len(eligible))]
+	k := rng.Intn(eligible)
+	for i, c := range cands {
+		if c.Eligible {
+			if k == 0 {
+				return i
+			}
+			k--
+		}
+	}
+	return -1
 }
 
 // PickStatic chooses an option without any status information, for

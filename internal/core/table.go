@@ -28,14 +28,31 @@ import (
 	"ibasim/internal/ib"
 )
 
+// blockOptions is the decoded option set of one 2^LMC-aligned LID
+// block: the single table access the enhanced switch performs, cached.
+// The adaptive slice is allocated once per decode and handed out to
+// every Lookup of the block; callers must treat it as read-only.
+type blockOptions struct {
+	escape   ib.PortID
+	adaptive []ib.PortID
+	valid    bool
+}
+
 // AdaptiveTable is the interleaved multi-option forwarding table. It
 // embeds the spec's linear table as its subnet-manager-facing view:
 // Set and Get behave exactly like a plain linear forwarding table
 // (IBA compatibility), while Lookup is the enhanced-switch access
 // returning all options for a destination in a single operation.
+//
+// Lookup results are cached per aligned block and invalidated by Set,
+// so the steady-state forwarding path (tables programmed once, then
+// millions of lookups) performs no heap allocation after the first
+// access to each block — mirroring the hardware, where the decode is
+// a wiring pattern of the interleaved memory, not per-packet work.
 type AdaptiveTable struct {
 	linear *ib.LinearForwardingTable
 	lmc    uint
+	blocks []blockOptions // one per 2^lmc-aligned block, decoded lazily
 }
 
 // NewAdaptiveTable builds a table for LIDs [0, maxLID] organized as
@@ -44,17 +61,28 @@ func NewAdaptiveTable(maxLID ib.LID, lmc uint) (*AdaptiveTable, error) {
 	if lmc > ib.MaxLMC {
 		return nil, fmt.Errorf("core: LMC %d exceeds spec maximum %d", lmc, ib.MaxLMC)
 	}
+	linear := ib.NewLinearForwardingTable(maxLID)
+	block := 1 << lmc
 	return &AdaptiveTable{
-		linear: ib.NewLinearForwardingTable(maxLID),
+		linear: linear,
 		lmc:    lmc,
+		blocks: make([]blockOptions, (linear.Len()+block-1)/block),
 	}, nil
 }
 
 // LMC returns the table's LID Mask Control.
 func (t *AdaptiveTable) LMC() uint { return t.lmc }
 
-// Set programs one linear entry (subnet-manager view).
-func (t *AdaptiveTable) Set(lid ib.LID, port ib.PortID) error { return t.linear.Set(lid, port) }
+// Set programs one linear entry (subnet-manager view) and invalidates
+// the cached decode of the entry's block, so re-programming during
+// subnet reconfiguration is visible to the very next Lookup.
+func (t *AdaptiveTable) Set(lid ib.LID, port ib.PortID) error {
+	if err := t.linear.Set(lid, port); err != nil {
+		return err
+	}
+	t.blocks[int(lid)>>t.lmc].valid = false
+	return nil
+}
 
 // Get reads one linear entry (subnet-manager view).
 func (t *AdaptiveTable) Get(lid ib.LID) ib.PortID { return t.linear.Get(lid) }
@@ -75,25 +103,60 @@ func (t *AdaptiveTable) Len() int { return t.linear.Len() }
 //     escape link is a genuinely different option (§4.4).
 //
 // The interleaved-memory organization means hardware obtains all of
-// this in one table access; the simulator returns it from one call.
+// this in one table access; the simulator returns it from one cached
+// decode. The adaptive slice is shared across lookups of the same
+// block and must not be mutated by the caller; it stays stable until
+// the subnet manager re-programs the block (Set), after which in-flight
+// holders keep the superseded slice and fresh lookups see the new one.
 func (t *AdaptiveTable) Lookup(dlid ib.LID) (escape ib.PortID, adaptive []ib.PortID, err error) {
-	block := 1 << t.lmc
-	base := dlid &^ ib.LID(block-1)
-	escape = t.linear.Get(base)
-	if escape == ib.InvalidPort {
+	bi := int(dlid) >> t.lmc
+	if bi >= len(t.blocks) {
+		return ib.InvalidPort, nil, fmt.Errorf("core: DLID %d unprogrammed", dlid)
+	}
+	b := &t.blocks[bi]
+	if !b.valid {
+		t.decode(bi)
+	}
+	if b.escape == ib.InvalidPort {
 		return ib.InvalidPort, nil, fmt.Errorf("core: DLID %d unprogrammed", dlid)
 	}
 	if t.lmc == 0 || dlid&1 == 0 {
-		return escape, nil, nil // deterministic service: one option
+		return b.escape, nil, nil // deterministic service: one option
 	}
-	seen := map[ib.PortID]bool{}
+	return b.escape, b.adaptive, nil
+}
+
+// decode rebuilds the cached option set of block bi from the linear
+// view. A fresh adaptive slice is allocated on every decode — never
+// reused — because bufEntry holders may still reference the previous
+// one across a reconfiguration.
+func (t *AdaptiveTable) decode(bi int) {
+	block := 1 << t.lmc
+	base := ib.LID(bi << t.lmc)
+	b := &t.blocks[bi]
+	b.escape = t.linear.Get(base)
+	b.adaptive = nil
 	for off := 1; off < block; off++ {
 		p := t.linear.Get(base + ib.LID(off))
-		if p == ib.InvalidPort || seen[p] {
+		if p == ib.InvalidPort || containsPort(b.adaptive, p) {
 			continue
 		}
-		seen[p] = true
-		adaptive = append(adaptive, p)
+		if b.adaptive == nil {
+			b.adaptive = make([]ib.PortID, 0, block-1)
+		}
+		b.adaptive = append(b.adaptive, p)
 	}
-	return escape, adaptive, nil
+	b.valid = true
+}
+
+// containsPort is the fixed-size dedup scan replacing the per-lookup
+// map: blocks hold at most 2^LMC-1 options (≤127, typically ≤3), so a
+// linear scan beats any hashed structure and allocates nothing.
+func containsPort(ports []ib.PortID, p ib.PortID) bool {
+	for _, q := range ports {
+		if q == p {
+			return true
+		}
+	}
+	return false
 }

@@ -20,6 +20,11 @@ type Host struct {
 	queue      []*ib.Packet
 	injPending bool
 
+	// kickFn and injectFn are the host's recurring event closures,
+	// bound once at wiring so scheduling them never allocates.
+	kickFn   func()
+	injectFn func()
+
 	// nextSeq numbers generated packets per destination, so the
 	// deliver side can verify in-order arrival of deterministic
 	// traffic.
@@ -60,10 +65,17 @@ func (h *Host) kick() {
 		return
 	}
 	h.injPending = true
-	h.net.Engine.Schedule(0, func() {
+	h.net.Engine.Schedule(0, h.injectFn)
+}
+
+// finishWiring binds the host's recurring event closures once the
+// link to its switch exists.
+func (h *Host) finishWiring() {
+	h.kickFn = h.kick
+	h.injectFn = func() {
 		h.injPending = false
 		h.tryInject()
-	})
+	}
 }
 
 // tryInject starts transmitting queued packets while the link is free
@@ -88,9 +100,8 @@ func (h *Host) tryInject() {
 		pkt.InjectedAt = now
 		h.Injected++
 
-		ps, pp := h.out.peerSwitch, h.out.peerPort
-		h.net.Engine.Schedule(ib.PropagationDelay, func() { ps.receive(pp, vl, pkt) })
-		h.net.Engine.Schedule(ser, h.kick)
+		h.net.scheduleReceive(ib.PropagationDelay, h.out.peerSwitch, h.out.peerPort, vl, pkt)
+		h.net.Engine.Schedule(ser, h.kickFn)
 		return // the link is now busy; the ser-kick continues the queue
 	}
 }

@@ -1,0 +1,116 @@
+package fabric
+
+// In-package hot-path tests: the per-hop forwarding path must not
+// allocate at steady state. These live inside package fabric (rather
+// than fabric_test) because they drive switch.receive directly and the
+// subnet manager cannot be imported here without a cycle, so the
+// forwarding tables are programmed by hand.
+
+import (
+	"testing"
+
+	"ibasim/internal/ib"
+	"ibasim/internal/topology"
+)
+
+// hotpathNet wires a 2-switch line (4 hosts each, LMC 1) and programs
+// every table slot of each destination block with the single correct
+// port — the minimal fabric on which a packet exercises the full
+// enhanced-switch path: table lookup, arbitration, credit-split
+// checks, transmission, credit return, delivery.
+func hotpathNet(tb testing.TB) *Network {
+	tb.Helper()
+	topo, err := topology.Line(2, 4)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	plan, err := ib.NewAddressPlan(topo.NumHosts(), 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	net, err := NewNetwork(topo, plan, DefaultConfig(), 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for s, sw := range net.Switches {
+		for dst := 0; dst < topo.NumHosts(); dst++ {
+			var port ib.PortID
+			if topo.HostSwitch(dst) == s {
+				port = net.HostPort(dst)
+			} else {
+				port, err = net.PortToNeighbor(s, topo.HostSwitch(dst))
+				if err != nil {
+					tb.Fatal(err)
+				}
+			}
+			base := plan.BaseLID(dst)
+			for off := 0; off < plan.RangeSize(); off++ {
+				if err := sw.Table().Set(base+ib.LID(off), port); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		}
+	}
+	return net
+}
+
+// TestSwitchHopZeroAllocsSteadyState is the alloc regression gate for
+// the forwarding path: once table caches, object pools and slice
+// capacities are warm, forwarding a packet across both switches to its
+// destination CA — including the arbitration passes, credit returns
+// and the delivery event — must perform zero heap allocations.
+func TestSwitchHopZeroAllocsSteadyState(t *testing.T) {
+	net := hotpathNet(t)
+	sw := net.Switches[0]
+	pkt := net.NewPacket(0, 7, 32, true)
+	hop := func() {
+		sw.receive(0, 0, pkt)
+		net.Engine.RunUntilIdle()
+	}
+	for i := 0; i < 100; i++ { // warm pools, caches, backing arrays
+		hop()
+	}
+	if allocs := testing.AllocsPerRun(200, hop); allocs != 0 {
+		t.Fatalf("steady-state forwarding allocates %v objects per traversal, want 0", allocs)
+	}
+}
+
+// TestSwitchHopZeroAllocsDeterministic covers the stock-switch path
+// (exact-DLID lookup, escape-only service) with a deterministic-service
+// packet on enhanced switches.
+func TestSwitchHopZeroAllocsDeterministic(t *testing.T) {
+	net := hotpathNet(t)
+	sw := net.Switches[0]
+	pkt := net.NewPacket(0, 5, 32, false)
+	hop := func() {
+		sw.receive(0, 0, pkt)
+		net.Engine.RunUntilIdle()
+	}
+	for i := 0; i < 100; i++ {
+		hop()
+	}
+	if allocs := testing.AllocsPerRun(200, hop); allocs != 0 {
+		t.Fatalf("steady-state deterministic forwarding allocates %v objects, want 0", allocs)
+	}
+}
+
+// BenchmarkSwitchHop measures one full two-switch traversal (receive
+// at the ingress switch through delivery at the destination CA) at
+// steady state.
+func BenchmarkSwitchHop(b *testing.B) {
+	net := hotpathNet(b)
+	sw := net.Switches[0]
+	pkt := net.NewPacket(0, 7, 32, true)
+	hop := func() {
+		sw.receive(0, 0, pkt)
+		net.Engine.RunUntilIdle()
+	}
+	for i := 0; i < 100; i++ {
+		hop()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hop()
+	}
+}

@@ -25,6 +25,11 @@ type Network struct {
 	rng    *sim.RNG
 	nextID uint64
 
+	// Hot-path freelists (see pool.go). Single-threaded per network:
+	// the engine dispatches sequentially and nothing else touches them.
+	evFree    []*fabricEvent
+	entryFree []*bufEntry
+
 	// OnCreated fires when a packet enters a source queue; OnDelivered
 	// when it reaches its destination CA; OnHop when a switch starts
 	// forwarding a packet (switch ID, output port, whether an adaptive
@@ -137,6 +142,14 @@ func NewNetwork(topo *topology.Topology, plan *ib.AddressPlan, cfg Config, seed 
 		a, b := net.Switches[l.A], net.Switches[l.B]
 		net.wire(a, pa, b, pb)
 		net.wire(b, pb, a, pa)
+	}
+	// Wiring is final: freeze the per-node hot-path state (cached
+	// service points, bound event closures).
+	for _, sw := range net.Switches {
+		sw.finishWiring()
+	}
+	for _, h := range net.Hosts {
+		h.finishWiring()
 	}
 	return net, nil
 }

@@ -1,0 +1,112 @@
+package fabric
+
+import (
+	"ibasim/internal/ib"
+	"ibasim/internal/sim"
+)
+
+// Hot-path object pools. Every packet hop schedules a handful of
+// events (peer receive, credit return, delivery) and buffers one
+// bufEntry; allocating those on the heap per hop dominated the
+// simulator's allocation profile. Both pools are plain freelists on
+// the Network rather than sync.Pools: each Network owns exactly one
+// single-threaded engine, so no locking is needed, and freelist reuse
+// is deterministic — it cannot perturb event ordering across runs.
+
+// Event kinds dispatched by fabricEvent.Do.
+const (
+	evReceive uint8 = iota // packet head arrives at a switch input port
+	evDeliver              // packet tail arrives at the destination CA
+	evCreditReturn         // flow-control update reaches the transmitter
+)
+
+// fabricEvent is a pooled sim.Action carrying the payload of one
+// hot-path event. The same struct type serves all three kinds; unused
+// fields stay nil/zero. It releases itself back to its network's pool
+// before running the payload, so a hop's event storage is recycled by
+// the very events it schedules.
+type fabricEvent struct {
+	net  *Network
+	kind uint8
+
+	sw   *Switch    // evReceive target
+	host *Host      // evDeliver target
+	out  *outPort   // evCreditReturn target
+	port ib.PortID  // evReceive input port
+	vl   int        // input/output VL
+	n    int        // credits returned
+	pkt  *ib.Packet // in-flight packet
+}
+
+// Do dispatches the event. Payload fields are copied to locals and the
+// struct is returned to the pool first, so work scheduled by the
+// payload can reuse it immediately.
+func (ev *fabricEvent) Do() {
+	kind, sw, host, out, port, vl, n, pkt := ev.kind, ev.sw, ev.host, ev.out, ev.port, ev.vl, ev.n, ev.pkt
+	ev.net.putEvent(ev)
+	switch kind {
+	case evReceive:
+		sw.receive(port, vl, pkt)
+	case evDeliver:
+		host.deliver(pkt)
+	case evCreditReturn:
+		out.returnCredits(vl, n)
+	}
+}
+
+func (n *Network) getEvent() *fabricEvent {
+	if last := len(n.evFree) - 1; last >= 0 {
+		ev := n.evFree[last]
+		n.evFree = n.evFree[:last]
+		return ev
+	}
+	return &fabricEvent{net: n}
+}
+
+func (n *Network) putEvent(ev *fabricEvent) {
+	*ev = fabricEvent{net: ev.net} // drop packet/port references for GC
+	n.evFree = append(n.evFree, ev)
+}
+
+// scheduleReceive schedules a packet head arrival at (sw, port, vl)
+// after delay, without allocating once the pool is warm.
+func (n *Network) scheduleReceive(delay sim.Time, sw *Switch, port ib.PortID, vl int, pkt *ib.Packet) {
+	ev := n.getEvent()
+	ev.kind, ev.sw, ev.port, ev.vl, ev.pkt = evReceive, sw, port, vl, pkt
+	n.Engine.ScheduleAction(delay, ev)
+}
+
+// scheduleDeliver schedules a packet delivery at the destination CA.
+func (n *Network) scheduleDeliver(delay sim.Time, h *Host, pkt *ib.Packet) {
+	ev := n.getEvent()
+	ev.kind, ev.host, ev.pkt = evDeliver, h, pkt
+	n.Engine.ScheduleAction(delay, ev)
+}
+
+// scheduleCreditReturn schedules a flow-control update of credits
+// credits on (o, vl).
+func (n *Network) scheduleCreditReturn(delay sim.Time, o *outPort, vl, credits int) {
+	ev := n.getEvent()
+	ev.kind, ev.out, ev.vl, ev.n = evCreditReturn, o, vl, credits
+	n.Engine.ScheduleAction(delay, ev)
+}
+
+// getEntry takes a bufEntry from the pool (or allocates one cold).
+// Callers must set every routing field; the entry arrives zeroed with
+// chosen already at InvalidPort.
+func (n *Network) getEntry() *bufEntry {
+	if last := len(n.entryFree) - 1; last >= 0 {
+		e := n.entryFree[last]
+		n.entryFree = n.entryFree[:last]
+		return e
+	}
+	return &bufEntry{chosen: ib.InvalidPort}
+}
+
+// putEntry recycles a bufEntry after its packet left the buffer. The
+// adaptive slice reference is dropped (it belongs to the forwarding
+// table's block cache, never to the entry).
+func (n *Network) putEntry(e *bufEntry) {
+	*e = bufEntry{chosen: ib.InvalidPort}
+	n.entryFree = append(n.entryFree, e)
+}

@@ -28,8 +28,24 @@ type Switch struct {
 	in  []*inPort  // indexed by port; nil when the port is unwired
 	out []*outPort // indexed by port; nil when the port is unwired
 
+	// points caches the wired (port, VL) service points. The topology
+	// is static after wiring, so the slice is built once (finishWiring)
+	// instead of on every allocation pass.
+	points []servicePoint
+
 	rr         int // round-robin start for the allocation scan
 	arbPending bool
+
+	// kickFn and arbFn are the switch's two recurring event closures,
+	// bound once at wiring: evaluating a method value (sw.kick) or a
+	// fresh func literal per Schedule call would allocate on every hop.
+	kickFn func()
+	arbFn  func()
+
+	// candScratch is reused across adaptiveCandidates calls. The slice
+	// is consumed synchronously by the selector before the next call,
+	// so one scratch buffer per switch suffices.
+	candScratch []core.Candidate
 }
 
 // ID returns the switch's topology ID.
@@ -49,10 +65,19 @@ func (sw *Switch) kick() {
 		return
 	}
 	sw.arbPending = true
-	sw.net.Engine.Schedule(0, func() {
+	sw.net.Engine.Schedule(0, sw.arbFn)
+}
+
+// finishWiring precomputes the per-switch hot-path state once the
+// port wiring is final: the service-point scan order and the two
+// recurring event closures.
+func (sw *Switch) finishWiring() {
+	sw.points = sw.buildServicePoints()
+	sw.kickFn = sw.kick
+	sw.arbFn = func() {
 		sw.arbPending = false
 		sw.arbitrate()
-	})
+	}
 }
 
 // receive is the head arrival of a packet on (port, vl). The
@@ -61,11 +86,9 @@ func (sw *Switch) kick() {
 // buffer", §4.3); the packet becomes servable after RoutingDelay.
 func (sw *Switch) receive(port ib.PortID, vl int, pkt *ib.Packet) {
 	now := sw.net.Engine.Now()
-	e := &bufEntry{
-		pkt:     pkt,
-		readyAt: now + ib.RoutingDelay,
-		chosen:  ib.InvalidPort,
-	}
+	e := sw.net.getEntry()
+	e.pkt = pkt
+	e.readyAt = now + ib.RoutingDelay
 	if sw.enhanced {
 		escape, adaptive, err := sw.table.Lookup(pkt.DLID)
 		if err != nil {
@@ -85,7 +108,7 @@ func (sw *Switch) receive(port ib.PortID, vl int, pkt *ib.Packet) {
 		e.escape = p
 	}
 	sw.in[port].vls[vl].push(e)
-	sw.net.Engine.Schedule(ib.RoutingDelay, sw.kick)
+	sw.net.Engine.Schedule(ib.RoutingDelay, sw.kickFn)
 }
 
 // selectImmediate fixes the output port right after the table access
@@ -118,9 +141,13 @@ func (sw *Switch) selectImmediate(e *bufEntry) {
 
 // adaptiveCandidates builds the selector's view of an entry's adaptive
 // options: eligibility = output link free now and the next hop's
-// adaptive queue can hold the whole packet.
+// adaptive queue can hold the whole packet. The returned slice aliases
+// the switch's scratch buffer and is only valid until the next call.
 func (sw *Switch) adaptiveCandidates(e *bufEntry, now sim.Time) []core.Candidate {
-	cands := make([]core.Candidate, len(e.adaptive))
+	if cap(sw.candScratch) < len(e.adaptive) {
+		sw.candScratch = make([]core.Candidate, len(e.adaptive))
+	}
+	cands := sw.candScratch[:len(e.adaptive)]
 	pktCredits := e.pkt.Credits()
 	for i, p := range e.adaptive {
 		o := sw.out[p]
@@ -178,7 +205,7 @@ type servicePoint struct {
 // link conditions hold, repeating until a full scan makes no progress.
 func (sw *Switch) arbitrate() {
 	now := sw.net.Engine.Now()
-	points := sw.servicePoints()
+	points := sw.points
 	if len(points) == 0 {
 		return
 	}
@@ -192,7 +219,7 @@ func (sw *Switch) arbitrate() {
 			}
 		}
 	}
-	sw.rr++
+	sw.rr = (sw.rr + 1) % len(points)
 }
 
 // tryServe attempts to dispatch from both service points of one
@@ -282,32 +309,27 @@ func (sw *Switch) startTx(buf *vlBuffer, idx int, sp servicePoint, out ib.PortID
 
 	// Credit update to our upstream once the tail has left this
 	// buffer (ser) and flown back (prop).
-	up := sw.in[sp.port].upstream
-	inVL := sp.vl
 	credits := pkt.Credits()
-	sw.net.Engine.Schedule(ser+ib.PropagationDelay, func() {
-		up.returnCredits(inVL, credits)
-	})
+	sw.net.scheduleCreditReturn(ser+ib.PropagationDelay, sw.in[sp.port].upstream, sp.vl, credits)
 
 	if o.peerHost != nil {
-		h := o.peerHost
-		sw.net.Engine.Schedule(ser+ib.PropagationDelay, func() { h.deliver(pkt) })
+		sw.net.scheduleDeliver(ser+ib.PropagationDelay, o.peerHost, pkt)
 		// The CA drains at line rate: its buffer frees as the tail
 		// arrives, and the credit update flies back one propagation
 		// delay later.
-		sw.net.Engine.Schedule(ser+2*ib.PropagationDelay, func() {
-			o.returnCredits(vl, credits)
-		})
+		sw.net.scheduleCreditReturn(ser+2*ib.PropagationDelay, o, vl, credits)
 	} else {
-		ps, pp := o.peerSwitch, o.peerPort
-		sw.net.Engine.Schedule(ib.PropagationDelay, func() { ps.receive(pp, vl, pkt) })
+		sw.net.scheduleReceive(ib.PropagationDelay, o.peerSwitch, o.peerPort, vl, pkt)
 	}
 	// The link frees at ser; look for more work then.
-	sw.net.Engine.Schedule(ser, sw.kick)
+	sw.net.Engine.Schedule(ser, sw.kickFn)
+	// The entry's journey through this switch is over; recycle it.
+	sw.net.putEntry(e)
 }
 
-// servicePoints enumerates the wired (port, VL) buffers.
-func (sw *Switch) servicePoints() []servicePoint {
+// buildServicePoints enumerates the wired (port, VL) buffers; the
+// result is cached in sw.points at wiring time.
+func (sw *Switch) buildServicePoints() []servicePoint {
 	var pts []servicePoint
 	for p, in := range sw.in {
 		if in == nil {

@@ -42,13 +42,34 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 // At runs fn at the absolute simulated time t, which must not be in
 // the past.
 func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
-	}
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	e.queue.push(event{at: t, seq: e.seq, fn: fn})
+	e.AtAction(t, funcAction(fn))
+}
+
+// ScheduleAction runs a after delay nanoseconds of simulated time.
+// It is the allocation-free counterpart of Schedule: the caller owns
+// the Action's storage (typically pooled) and the engine never wraps
+// it in a closure. FIFO ordering among equal timestamps is shared with
+// closure events — both draw from the same sequence counter.
+func (e *Engine) ScheduleAction(delay Time, a Action) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.AtAction(e.now+delay, a)
+}
+
+// AtAction runs a at the absolute simulated time t, which must not be
+// in the past.
+func (e *Engine) AtAction(t Time, a Action) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	if a == nil {
+		panic("sim: nil event action")
+	}
+	e.queue.push(event{at: t, seq: e.seq, act: a})
 	e.seq++
 }
 
@@ -70,14 +91,11 @@ func (e *Engine) Run(horizon Time) {
 		ev := e.queue.pop()
 		e.now = ev.at
 		e.processed++
-		ev.fn()
+		ev.act.Do()
 	}
-	if e.now < horizon && e.queue.len() == 0 {
-		// Nothing left to do before the horizon; the simulation is
-		// quiescent. Leave the clock where it is: callers that need
-		// the horizon time can read it from their own config.
-		return
-	}
+	// When the queue drains before the horizon the clock stays at the
+	// last dispatched event; callers that need the horizon time read it
+	// from their own config.
 }
 
 // RunUntilIdle dispatches every scheduled event regardless of time.
@@ -96,6 +114,6 @@ func (e *Engine) Step() bool {
 	ev := e.queue.pop()
 	e.now = ev.at
 	e.processed++
-	ev.fn()
+	ev.act.Do()
 	return true
 }

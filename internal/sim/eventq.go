@@ -1,5 +1,24 @@
 package sim
 
+// Action is a schedulable unit of work. The engine accepts either a
+// plain closure (Schedule/At) or an Action (ScheduleAction/AtAction);
+// the latter is the allocation-free fast path: components keep a pool
+// of structs implementing Action and reuse them across events, so the
+// per-hop event traffic of a saturated simulation stops allocating a
+// fresh closure per event.
+type Action interface {
+	// Do performs the event. It runs with the engine clock already
+	// advanced to the event's timestamp.
+	Do()
+}
+
+// funcAction adapts a closure to the Action interface. A func value is
+// pointer-shaped, so the conversion stores it directly in the
+// interface without a heap allocation.
+type funcAction func()
+
+func (f funcAction) Do() { f() }
+
 // event is a scheduled callback. Events with equal timestamps fire in
 // the order they were scheduled (FIFO), which the seq field enforces;
 // without it, heap ordering among equal keys would depend on insertion
@@ -7,7 +26,7 @@ package sim
 type event struct {
 	at  Time
 	seq uint64
-	fn  func()
+	act Action
 }
 
 // eventQueue is a binary min-heap of events ordered by (at, seq).
@@ -47,7 +66,7 @@ func (q *eventQueue) pop() event {
 	top := q.ev[0]
 	last := len(q.ev) - 1
 	q.ev[0] = q.ev[last]
-	q.ev[last] = event{} // release the closure for GC
+	q.ev[last] = event{} // release the action for GC
 	q.ev = q.ev[:last]
 	q.siftDown(0)
 	return top

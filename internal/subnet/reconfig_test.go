@@ -129,3 +129,74 @@ func TestReconfigureMultipleFailures(t *testing.T) {
 		t.Fatalf("delivered %d, want 1000", delivered)
 	}
 }
+
+// TestReconfigureInvalidatesLookupCache guards the AdaptiveTable block
+// cache against stale decodes: a Lookup performed before the subnet
+// manager reprograms a switch must not pin the superseded option set.
+// After Reconfigure, fresh lookups have to agree with the linear
+// (subnet-manager) view of the reprogrammed table and must not offer
+// any dead port.
+func TestReconfigureInvalidatesLookupCache(t *testing.T) {
+	net := buildNet(t, 16, 4, 1, 1, true)
+	if _, err := Configure(net, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	// Warm every switch's decoded-block cache for every destination,
+	// as steady-state traffic would.
+	warm := func() {
+		for _, sw := range net.Switches {
+			for dst := 0; dst < net.Topo.NumHosts(); dst++ {
+				if _, _, err := sw.Table().Lookup(net.Plan.AdaptiveLID(dst)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	warm()
+
+	failed := net.Topo.Links[0]
+	if _, err := Reconfigure(net, DefaultOptions(), failed); err != nil {
+		t.Fatal(err)
+	}
+	deadPort := func(s int) (ib.PortID, bool) {
+		switch s {
+		case failed.A:
+			p, err := net.PortToNeighbor(failed.A, failed.B)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p, true
+		case failed.B:
+			p, err := net.PortToNeighbor(failed.B, failed.A)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p, true
+		}
+		return 0, false
+	}
+	for s, sw := range net.Switches {
+		dead, hasDead := deadPort(s)
+		for dst := 0; dst < net.Topo.NumHosts(); dst++ {
+			base := net.Plan.BaseLID(dst)
+			escape, adaptive, err := sw.Table().Lookup(net.Plan.AdaptiveLID(dst))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if escape != sw.Table().Get(base) {
+				t.Fatalf("switch %d dst %d: cached escape %d != linear view %d",
+					s, dst, escape, sw.Table().Get(base))
+			}
+			if hasDead {
+				if escape == dead {
+					t.Fatalf("switch %d dst %d: stale cache still escapes over dead port %d", s, dst, dead)
+				}
+				for _, p := range adaptive {
+					if p == dead {
+						t.Fatalf("switch %d dst %d: stale cache still offers dead port %d", s, dst, dead)
+					}
+				}
+			}
+		}
+	}
+}

@@ -70,6 +70,18 @@ func NewGenerator(net *fabric.Network, cfg Config) (*Generator, error) {
 	return &Generator{cfg: cfg, net: net}, nil
 }
 
+// hostStream is one host's generation process. Binding the host, its
+// RNG stream, and the rescheduling closure in one struct lets the
+// recurring generation event reuse a single func value instead of
+// allocating a new closure per packet.
+type hostStream struct {
+	g    *Generator
+	host *fabric.Host
+	rng  *sim.RNG
+	mean float64
+	fire func()
+}
+
 // Start schedules generation on every host from the current simulated
 // time until stopAt. Each host draws from an independent RNG stream,
 // so per-host processes are uncorrelated but reproducible.
@@ -78,27 +90,23 @@ func (g *Generator) Start(stopAt sim.Time) {
 	mean := float64(g.cfg.PacketSize) / g.cfg.LoadBytesPerNsPerHost
 	root := sim.NewRNG(g.cfg.Seed ^ 0x54524146464943)
 	for _, h := range g.net.Hosts {
-		host := h
-		rng := root.Split(uint64(h.ID()) + 1)
+		hs := &hostStream{g: g, host: h, rng: root.Split(uint64(h.ID()) + 1), mean: mean}
+		hs.fire = hs.generate
 		// Random initial phase avoids all hosts firing in lockstep.
-		g.net.Engine.Schedule(rng.ExpTime(mean), func() {
-			g.generate(host, rng, mean)
-		})
+		g.net.Engine.Schedule(hs.rng.ExpTime(mean), hs.fire)
 	}
 }
 
-func (g *Generator) generate(host *fabric.Host, rng *sim.RNG, mean float64) {
-	now := g.net.Engine.Now()
-	if now >= g.stop {
+func (hs *hostStream) generate() {
+	g := hs.g
+	if g.net.Engine.Now() >= g.stop {
 		return
 	}
-	if dst := g.cfg.Pattern.Dest(host.ID(), rng); dst >= 0 {
-		adaptive := rng.Bool(g.cfg.AdaptiveFraction)
-		pkt := g.net.NewPacket(host.ID(), dst, g.cfg.PacketSize, adaptive)
-		host.Inject(pkt)
+	if dst := g.cfg.Pattern.Dest(hs.host.ID(), hs.rng); dst >= 0 {
+		adaptive := hs.rng.Bool(g.cfg.AdaptiveFraction)
+		pkt := g.net.NewPacket(hs.host.ID(), dst, g.cfg.PacketSize, adaptive)
+		hs.host.Inject(pkt)
 		g.Generated++
 	}
-	g.net.Engine.Schedule(rng.ExpTime(mean), func() {
-		g.generate(host, rng, mean)
-	})
+	g.net.Engine.Schedule(hs.rng.ExpTime(hs.mean), hs.fire)
 }

@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# bench.sh — run the hot-path benchmark suite and record a
+# benchstat-comparable baseline.
+#
+# Usage: scripts/bench.sh [count]
+#
+# Writes two artifacts at the repo root:
+#   BENCH_hotpath.txt  — raw `go test -bench` output; feed two of these
+#                        to benchstat to compare revisions.
+#   BENCH_hotpath.json — parsed {benchmark: {ns_op, b_op, allocs_op}}
+#                        for trajectory tracking across PRs.
+#
+# The suite covers the three hot-path layers (table lookup, engine
+# push/pop, one switch traversal) plus the end-to-end Figure 3
+# regeneration whose allocs/op the alloc-regression tests gate.
+set -eu
+
+cd "$(dirname "$0")/.."
+count="${1:-1}"
+
+out_txt=BENCH_hotpath.txt
+out_json=BENCH_hotpath.json
+
+{
+  go test -run '^$' -bench 'BenchmarkLookup$' -benchmem -count "$count" ./internal/core/
+  go test -run '^$' -bench 'BenchmarkEnginePushPop' -benchmem -count "$count" ./internal/sim/
+  go test -run '^$' -bench 'BenchmarkSwitchHop$' -benchmem -count "$count" ./internal/fabric/
+  go test -run '^$' -bench 'BenchmarkFigure3$|BenchmarkSimulationEngine$' -benchmem -benchtime 3x -count "$count" .
+} | tee "$out_txt"
+
+awk '
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns[name] = $3; b[name] = $5; al[name] = $7
+    if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+  }
+  END {
+    printf "{\n"
+    for (i = 1; i <= n; i++) {
+      k = order[i]
+      printf "  \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}%s\n",
+        k, ns[k], b[k], al[k], (i < n ? "," : "")
+    }
+    printf "}\n"
+  }
+' "$out_txt" > "$out_json"
+
+echo "wrote $out_txt and $out_json"

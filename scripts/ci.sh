@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# ci.sh — the repository's tier-1 gate plus the hot-path discipline
+# checks. Run locally before pushing; .github/workflows/ci.yml runs the
+# same steps.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+echo "==> alloc-regression gates (hot path must not allocate)"
+go test -run 'ZeroAllocs' -v ./internal/core/ ./internal/sim/ ./internal/fabric/
+
+echo "==> determinism golden"
+go test -run 'TestFigure3Deterministic' -v ./internal/experiments/
+
+echo "CI OK"
