@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"ibasim/internal/experiments"
+	"ibasim/internal/prof"
 	"ibasim/internal/sim"
 )
 
@@ -76,12 +77,20 @@ func main() {
 	loadHi := flag.Float64("load-hi", 0, "override: highest per-host load (bytes/ns)")
 	pktSizes := flag.String("bytes", "", "override: packet sizes, e.g. 32,256")
 	patterns := flag.String("patterns", "", "table1 patterns: uniform,bit-reversal,hot-spot:0.1,...")
+	sched := flag.String("sched", "calendar", "event scheduler: calendar (O(1) wheel) or heap (binary-heap reference); results are bit-identical")
+	pcfg := prof.Flags()
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "ibbench:", err)
 		os.Exit(1)
 	}
+
+	stopProf, err := pcfg.Start()
+	if err != nil {
+		fail(err)
+	}
+	defer stopProf()
 
 	var sc experiments.Scale
 	switch *scaleName {
@@ -125,6 +134,11 @@ func main() {
 		}
 		sc.PacketSizes = v
 	}
+	kind, err := sim.ParseScheduler(*sched)
+	if err != nil {
+		fail(err)
+	}
+	sc.EngineOpts = []sim.EngineOption{sim.WithScheduler(kind)}
 	pats := []experiments.PatternSpec{{Kind: "uniform"}}
 	if *scaleName == "full" {
 		pats = experiments.Table1Patterns

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"ibasim"
+	"ibasim/internal/prof"
 )
 
 func main() {
@@ -33,12 +34,21 @@ func main() {
 	flag.Int64Var(&cfg.WarmupNs, "warmup", cfg.WarmupNs, "warm-up time, ns")
 	flag.Int64Var(&cfg.MeasureNs, "measure", cfg.MeasureNs, "measurement window, ns")
 	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "traffic/selection seed")
-	traceN := flag.Int("trace", 0, "record and print the last N packet lifecycle events")
+	flag.StringVar(&cfg.Scheduler, "sched", "calendar", "event scheduler: calendar (O(1) wheel) or heap (binary-heap reference); results are bit-identical")
+	traceN := flag.Int("packet-trace", 0, "record and print the last N packet lifecycle events")
 	sweep := flag.Bool("sweep", false, "sweep offered load and print the full curve")
 	loadLo := flag.Float64("load-lo", 0.002, "sweep: lowest per-host load")
 	loadHi := flag.Float64("load-hi", 0.20, "sweep: highest per-host load")
 	loadN := flag.Int("load-n", 10, "sweep: number of load points")
+	pcfg := prof.Flags()
 	flag.Parse()
+
+	stopProf, err := pcfg.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ibsim:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	cfg.AdaptiveSwitches = !*plain
 

@@ -70,6 +70,13 @@ type Config struct {
 
 	Seed uint64
 
+	// Scheduler selects the engine's event-queue implementation:
+	// "calendar" (the default two-level calendar queue, O(1)
+	// amortized) or "heap" (the binary-heap reference). Both dispatch
+	// in the identical (at, seq) order; results are bit-exact either
+	// way.
+	Scheduler string
+
 	// Ablation knobs (§4.3 and §4.4 design axes). Zero values give
 	// the paper's evaluation setup.
 
@@ -175,6 +182,13 @@ func (c Config) spec() (experiments.RunSpec, error) {
 			return experiments.RunSpec{}, err
 		}
 		spec.Fabric.Split = split
+	}
+	if c.Scheduler != "" {
+		kind, err := sim.ParseScheduler(c.Scheduler)
+		if err != nil {
+			return experiments.RunSpec{}, err
+		}
+		spec.Fabric.EngineOpts = append(spec.Fabric.EngineOpts, sim.WithScheduler(kind))
 	}
 	return spec, nil
 }

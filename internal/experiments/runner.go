@@ -102,7 +102,7 @@ func RunObserved(spec RunSpec, observe func(*fabric.Network)) (RunResult, error)
 	end := spec.Warmup + spec.Measure
 	gen.Start(end)
 	net.Engine.Run(end + spec.DrainGrace)
-	return RunResult{
+	res := RunResult{
 		OfferedPerSwitch:   spec.Traffic.OfferedPerSwitch(spec.Topo.HostsPerSwitch),
 		AcceptedPerSwitch:  col.AcceptedPerSwitch(),
 		AvgLatencyNs:       col.Latency.Avg(),
@@ -111,7 +111,11 @@ func RunObserved(spec RunSpec, observe func(*fabric.Network)) (RunResult, error)
 		OutOfOrderFraction: col.OutOfOrderFraction(),
 		ReorderPeakHeld:    col.Reorder.PeakHeld,
 		ReorderAvgDelayNs:  col.Reorder.AvgReorderDelay(),
-	}, nil
+	}
+	// Hand the drained queue storage back to the sweep's arena (no-op
+	// unless the spec carried sim.WithArena).
+	net.Engine.Recycle()
+	return res, nil
 }
 
 // SweepPoint is one load point of a latency/throughput curve.
@@ -126,9 +130,17 @@ type SweepPoint struct {
 // a worker pool sized to GOMAXPROCS; results are identical to a
 // sequential sweep.
 func LoadSweep(spec RunSpec, loads []float64) ([]SweepPoint, error) {
+	// Load points share a queue arena: each finished run's drained
+	// event-queue storage seeds the next instead of regrowing from
+	// zero. The arena is thread-safe, so the worker pool can pass
+	// storage between points freely; results stay bit-identical (the
+	// scheduler is unchanged, only its allocation source).
+	arena := sim.NewQueueArena()
 	return runParallel(len(loads), func(i int) (SweepPoint, error) {
 		s := spec
 		s.Traffic.LoadBytesPerNsPerHost = loads[i]
+		s.Fabric.EngineOpts = append(append([]sim.EngineOption{}, s.Fabric.EngineOpts...),
+			sim.WithCapacityHint(256*s.Topo.NumSwitches), sim.WithArena(arena))
 		res, err := Run(s)
 		if err != nil {
 			return SweepPoint{}, err
@@ -185,6 +197,11 @@ type Scale struct {
 	LoadLo      float64 // per-host bytes/ns
 	LoadHi      float64
 	PacketSizes []int
+
+	// EngineOpts flows into every run's fabric config — the harness
+	// hook for scheduler selection (sim.WithScheduler) and geometry
+	// overrides. Empty means the engine defaults (calendar queue).
+	EngineOpts []sim.EngineOption
 }
 
 // QuickScale is sized for smoke tests and benchmarks.
@@ -245,6 +262,7 @@ func lmcFor(mr int) uint {
 func (sc Scale) Spec(topo *topology.Topology, mr, pktSize int, adaptiveFrac float64, pattern traffic.Pattern, seed uint64, enhanced bool) RunSpec {
 	fcfg := fabric.DefaultConfig()
 	fcfg.AdaptiveSwitches = enhanced
+	fcfg.EngineOpts = sc.EngineOpts
 	return RunSpec{
 		Topo:    topo,
 		LMC:     lmcFor(mr),

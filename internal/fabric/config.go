@@ -13,6 +13,7 @@ import (
 
 	"ibasim/internal/core"
 	"ibasim/internal/ib"
+	"ibasim/internal/sim"
 )
 
 // Config gathers the switch and link parameters of a simulation. The
@@ -57,6 +58,13 @@ type Config struct {
 	// manager stores the same output port at every table address of
 	// these switches.
 	DeterministicOnly []int
+
+	// EngineOpts configures the simulation engine's event scheduler
+	// (implementation, wheel geometry, storage arena). NewNetwork
+	// prepends a span hint derived from the link timing so the default
+	// calendar geometry covers the per-hop event horizon; options set
+	// here are applied afterwards and win.
+	EngineOpts []sim.EngineOption
 
 	// RoutingDelay, PropagationDelay and link rate come from
 	// internal/ib's constants; they are fixed by the paper's model.

@@ -53,8 +53,18 @@ func NewNetwork(topo *topology.Topology, plan *ib.AddressPlan, cfg Config, seed 
 	if plan.NumHosts != topo.NumHosts() {
 		return nil, fmt.Errorf("fabric: plan has %d hosts, topology %d", plan.NumHosts, topo.NumHosts())
 	}
+	// Hop events land at most routing + propagation + MTU
+	// serialization time ahead; sizing the scheduler's wheel to a
+	// generous multiple of that horizon keeps steady-state forwarding
+	// traffic out of the overflow heap, leaving it the exponential
+	// inter-arrival tail. Explicit cfg.EngineOpts apply after the hint
+	// and override it.
+	hopHorizon := ib.RoutingDelay + ib.PropagationDelay + ib.SerializationTime(cfg.MTU)
+	engineOpts := make([]sim.EngineOption, 0, len(cfg.EngineOpts)+1)
+	engineOpts = append(engineOpts, sim.WithSpanHint(16*hopHorizon))
+	engineOpts = append(engineOpts, cfg.EngineOpts...)
 	net := &Network{
-		Engine: sim.NewEngine(),
+		Engine: sim.NewEngine(engineOpts...),
 		Topo:   topo,
 		Plan:   plan,
 		Cfg:    cfg,

@@ -1,0 +1,86 @@
+// Package prof wires the standard Go profilers into the command-line
+// tools. Both ibsim and ibbench register -cpuprofile, -memprofile and
+// -trace flags through Flags; the resulting pprof/trace files feed
+// `go tool pprof` and `go tool trace` directly, which is how the
+// scheduler and hot-path work in this repository is measured against
+// real workloads rather than microbenchmarks alone.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Config holds the three profile destinations; empty means disabled.
+type Config struct {
+	CPU   string
+	Mem   string
+	Trace string
+}
+
+// Flags registers the profiling flags on the default flag set. Call
+// before flag.Parse.
+func Flags() *Config {
+	c := &Config{}
+	flag.StringVar(&c.CPU, "cpuprofile", "", "write a CPU profile (pprof) to this file")
+	flag.StringVar(&c.Mem, "memprofile", "", "write a heap allocation profile (pprof) to this file at exit")
+	flag.StringVar(&c.Trace, "trace", "", "write a runtime execution trace to this file")
+	return c
+}
+
+// Start begins the configured profiles and returns the stop function
+// that finalizes them (defer it in main). The heap profile is written
+// at stop time, after a GC, so it reflects live steady-state memory.
+func (c *Config) Start() (stop func(), err error) {
+	var cpuF, traceF *os.File
+	cleanup := func() {
+		if traceF != nil {
+			trace.Stop()
+			traceF.Close()
+		}
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+	}
+	if c.CPU != "" {
+		if cpuF, err = os.Create(c.CPU); err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err = pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	if c.Trace != "" {
+		if traceF, err = os.Create(c.Trace); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err = trace.Start(traceF); err != nil {
+			traceF.Close()
+			traceF = nil
+			cleanup()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() {
+		cleanup()
+		if c.Mem != "" {
+			f, err := os.Create(c.Mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+		}
+	}, nil
+}

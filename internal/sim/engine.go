@@ -12,12 +12,60 @@ type Engine struct {
 	queue     eventQueue
 	processed uint64
 	running   bool
+	arena     *QueueArena
 }
 
 // NewEngine returns an engine with the clock at zero and an empty
-// event queue.
-func NewEngine() *Engine {
-	return &Engine{}
+// event queue. With no options it uses the calendar-queue scheduler
+// at its default geometry; see EngineOption for the scheduler,
+// geometry and storage-reuse knobs.
+func NewEngine(opts ...EngineOption) *Engine {
+	cfg := engineConfig{
+		kind:      SchedulerCalendar,
+		slotBits:  defaultSlotBits,
+		widthBits: defaultWidthBits,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.kind == SchedulerHeap {
+		h := &heapQueue{}
+		if cfg.capacity > 0 {
+			h.ev = make([]event, 0, cfg.capacity)
+		}
+		return &Engine{queue: h}
+	}
+	// Widen buckets until the wheel spans the hinted horizon (capped
+	// well short of Time overflow).
+	for cfg.spanHint > Time(1)<<(cfg.widthBits+cfg.slotBits) && cfg.widthBits+cfg.slotBits < 40 {
+		cfg.widthBits++
+	}
+	var q *calendarQueue
+	if cfg.arena != nil {
+		q = cfg.arena.get(cfg.slotBits, cfg.widthBits)
+	} else {
+		q = newCalendarQueue(cfg.slotBits, cfg.widthBits)
+	}
+	if cfg.capacity > 0 {
+		q.prealloc(cfg.capacity)
+	}
+	return &Engine{queue: q, arena: cfg.arena}
+}
+
+// Recycle returns the engine's queue storage to the arena it was
+// built with (WithArena), making it available to the next engine in a
+// sweep. The engine must be done dispatching and is unusable
+// afterwards. Without an arena Recycle is a no-op and the engine
+// stays usable.
+func (e *Engine) Recycle() {
+	if e.arena == nil {
+		return
+	}
+	if q, ok := e.queue.(*calendarQueue); ok {
+		e.arena.put(q)
+	}
+	e.queue = nil
+	e.arena = nil
 }
 
 // Now returns the current simulated time.

@@ -21,33 +21,57 @@ func (f funcAction) Do() { f() }
 
 // event is a scheduled callback. Events with equal timestamps fire in
 // the order they were scheduled (FIFO), which the seq field enforces;
-// without it, heap ordering among equal keys would depend on insertion
-// history and simulations would not be reproducible across refactors.
+// without it, dispatch order among equal keys would depend on queue
+// internals and simulations would not be reproducible across refactors.
 type event struct {
 	at  Time
 	seq uint64
 	act Action
 }
 
-// eventQueue is a binary min-heap of events ordered by (at, seq).
+// eventLess is the engine's total dispatch order: (at, seq)
+// lexicographic. seq values are unique, so two distinct events never
+// compare equal and every scheduler implementation must realize the
+// exact same sequence.
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// eventQueue is the scheduler contract the engine dispatches through.
+// Implementations must dispatch in exact (at, seq) order — this is a
+// correctness requirement, not an approximation: the determinism
+// goldens hash entire experiment artifacts, so any reordering among
+// equal timestamps or across bucket boundaries is a test failure.
+//
+// Two implementations exist: calendarQueue (the default, O(1)
+// amortized for the short-horizon event traffic of a saturated
+// subnet) and heapQueue (the O(log n) reference, also serving as the
+// calendar's far-future overflow level). The differential property
+// test and FuzzEventQueueOrdering drive both side by side.
+type eventQueue interface {
+	len() int
+	push(event)
+	pop() event
+	peekTime() Time
+}
+
+// heapQueue is a binary min-heap of events ordered by (at, seq).
 // It is hand-rolled rather than built on container/heap to avoid the
 // interface boxing and indirect calls on the hot path: a saturated
 // 64-switch simulation pushes and pops tens of millions of events.
-type eventQueue struct {
+type heapQueue struct {
 	ev []event
 }
 
-func (q *eventQueue) len() int { return len(q.ev) }
+func (q *heapQueue) len() int { return len(q.ev) }
 
-func (q *eventQueue) less(i, j int) bool {
-	if q.ev[i].at != q.ev[j].at {
-		return q.ev[i].at < q.ev[j].at
-	}
-	return q.ev[i].seq < q.ev[j].seq
-}
+func (q *heapQueue) less(i, j int) bool { return eventLess(q.ev[i], q.ev[j]) }
 
 // push inserts an event and restores the heap property.
-func (q *eventQueue) push(e event) {
+func (q *heapQueue) push(e event) {
 	q.ev = append(q.ev, e)
 	i := len(q.ev) - 1
 	for i > 0 {
@@ -62,7 +86,7 @@ func (q *eventQueue) push(e event) {
 
 // pop removes and returns the earliest event. It must not be called on
 // an empty queue.
-func (q *eventQueue) pop() event {
+func (q *heapQueue) pop() event {
 	top := q.ev[0]
 	last := len(q.ev) - 1
 	q.ev[0] = q.ev[last]
@@ -72,7 +96,7 @@ func (q *eventQueue) pop() event {
 	return top
 }
 
-func (q *eventQueue) siftDown(i int) {
+func (q *heapQueue) siftDown(i int) {
 	n := len(q.ev)
 	for {
 		left := 2*i + 1
@@ -91,11 +115,21 @@ func (q *eventQueue) siftDown(i int) {
 	}
 }
 
+// peek returns the earliest event without removing it. It must not be
+// called on an empty queue.
+func (q *heapQueue) peek() event { return q.ev[0] }
+
 // peekTime returns the timestamp of the earliest event, or Forever if
 // the queue is empty.
-func (q *eventQueue) peekTime() Time {
+func (q *heapQueue) peekTime() Time {
 	if len(q.ev) == 0 {
 		return Forever
 	}
 	return q.ev[0].at
+}
+
+// reset empties the heap for reuse, keeping the backing array.
+func (q *heapQueue) reset() {
+	clear(q.ev)
+	q.ev = q.ev[:0]
 }

@@ -1,0 +1,35 @@
+package sim
+
+import "testing"
+
+// FuzzEventQueueOrdering fuzzes the scheduler-equivalence property:
+// any push/pop program over any wheel geometry must produce the exact
+// heap dispatch sequence. The seed corpus pins the known-delicate
+// inputs — equal-timestamp FIFO runs, bucket-boundary timestamps,
+// horizon-exact pushes and far-future overflow traffic — and the
+// fuzzer mutates from there. scripts/ci.sh runs a short smoke pass.
+func FuzzEventQueueOrdering(f *testing.F) {
+	// Opcode key (see driveQueues): 0 near, 1 equal-timestamp, 2
+	// bucket boundary, 3 horizon-exact, 4 far future, 5 spread,
+	// 6 pop, 7 drain burst.
+	equalFIFO := []byte{1, 0, 1, 0, 1, 0, 1, 0, 6, 0, 6, 0, 1, 0, 1, 0, 7, 8}
+	boundaries := []byte{2, 0, 2, 1, 2, 2, 2, 3, 6, 0, 2, 0, 2, 1, 7, 8}
+	horizonExact := []byte{3, 0, 0, 5, 3, 0, 6, 0, 6, 0, 3, 0, 7, 8}
+	farFuture := []byte{4, 9, 0, 3, 4, 200, 6, 0, 4, 1, 7, 255, 0, 1, 7, 255}
+	drainRefill := []byte{0, 10, 0, 20, 7, 255, 0, 3, 1, 0, 7, 255, 4, 50, 7, 255}
+	for _, seed := range [][]byte{equalFIFO, boundaries, horizonExact, farFuture, drainRefill} {
+		f.Add(seed, uint8(3), uint8(1))
+		f.Add(seed, uint8(6), uint8(0))
+		f.Add(seed, uint8(defaultSlotBits), uint8(defaultWidthBits))
+	}
+	f.Fuzz(func(t *testing.T, program []byte, slotBits, widthBits uint8) {
+		sb := uint(slotBits%10) + 1 // 2..1024 buckets
+		wb := uint(widthBits % 7)   // width 1..64 ns
+		if len(program) > 1<<16 {
+			program = program[:1<<16]
+		}
+		if err := driveQueues(program, sb, wb); err != nil {
+			t.Fatalf("geometry %d/%d: %v", sb, wb, err)
+		}
+	})
+}

@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // countAction is a minimal pooled-style Action.
 type countAction struct{ n int }
@@ -61,6 +64,48 @@ func TestSchedulePopZeroAllocsWarm(t *testing.T) {
 	}
 }
 
+// TestQueueArenaReuseZeroAllocs is the sweep-reuse gate: once a
+// QueueArena holds the drained storage of a completed run, building
+// the next engine from it and pushing a comparable standing load must
+// not grow queue storage. The two allocations left are fixed-size
+// construction costs — the Engine struct and the option-applied
+// engineConfig that escapes through the EngineOption closures — so
+// anything above 2 means per-run storage is being regrown.
+func TestQueueArenaReuseZeroAllocs(t *testing.T) {
+	arena := NewQueueArena()
+	a := &countAction{}
+	opts := []EngineOption{WithArena(arena)}
+	allocs := testing.AllocsPerRun(20, func() {
+		e := NewEngine(opts...)
+		for i := 0; i < 2048; i++ {
+			e.ScheduleAction(Time(i%512), a)
+		}
+		e.RunUntilIdle()
+		e.Recycle()
+	})
+	if allocs > 2 {
+		t.Fatalf("arena-recycled run allocates %v objects, want ≤ 2 (Engine struct + engineConfig)", allocs)
+	}
+}
+
+// TestEngineHeapSchedulerZeroAllocsWarm keeps the heap fallback under
+// the same alloc discipline as the default scheduler.
+func TestEngineHeapSchedulerZeroAllocsWarm(t *testing.T) {
+	e := NewEngine(WithScheduler(SchedulerHeap))
+	a := &countAction{}
+	for i := 0; i < 64; i++ {
+		e.ScheduleAction(Time(i), a)
+	}
+	e.RunUntilIdle()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.ScheduleAction(1, a)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("warm heap schedule/dispatch allocates %v objects, want 0", allocs)
+	}
+}
+
 // BenchmarkEnginePushPop measures a schedule+dispatch cycle through
 // the typed-action fast path.
 func BenchmarkEnginePushPop(b *testing.B) {
@@ -89,5 +134,39 @@ func BenchmarkEnginePushPopDepth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e.ScheduleAction(Time(i%64)+1, a)
 		e.Step()
+	}
+}
+
+// BenchmarkEventQueueDepth sweeps the standing queue depth for both
+// scheduler implementations on a hop-like delay distribution (0..4095
+// ns ahead, the fabric's routing+propagation+serialization horizon).
+// scripts/bench.sh records the grid as BENCH_eventq.json; the
+// calendar's flat curve against the heap's log-n climb is the
+// tentpole win of the scheduler PR.
+func BenchmarkEventQueueDepth(b *testing.B) {
+	impls := []struct {
+		name string
+		opts []EngineOption
+	}{
+		{"calendar", nil},
+		{"heap", []EngineOption{WithScheduler(SchedulerHeap)}},
+	}
+	for _, impl := range impls {
+		for _, depth := range []int{1 << 10, 1 << 14, 1 << 18} {
+			b.Run(fmt.Sprintf("%s/depth=%d", impl.name, depth), func(b *testing.B) {
+				e := NewEngine(impl.opts...)
+				a := &countAction{}
+				r := NewRNG(11)
+				for i := 0; i < depth; i++ {
+					e.ScheduleAction(Time(r.Intn(4096)), a)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.ScheduleAction(Time(r.Intn(4096))+1, a)
+					e.Step()
+				}
+			})
+		}
 	}
 }

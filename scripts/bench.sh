@@ -4,11 +4,17 @@
 #
 # Usage: scripts/bench.sh [count]
 #
-# Writes two artifacts at the repo root:
+# Writes four artifacts at the repo root:
 #   BENCH_hotpath.txt  — raw `go test -bench` output; feed two of these
 #                        to benchstat to compare revisions.
 #   BENCH_hotpath.json — parsed {benchmark: {ns_op, b_op, allocs_op}}
 #                        for trajectory tracking across PRs.
+#   BENCH_eventq.txt   — event-queue depth sweep: calendar vs heap at
+#                        1k/16k/256k standing events, plus the
+#                        end-to-end Figure 3 regeneration.
+#   BENCH_eventq.json  — the sweep parsed, with the pre-calendar
+#                        (binary-heap, PR 1) baselines embedded so one
+#                        file carries the before/after comparison.
 #
 # The suite covers the three hot-path layers (table lookup, engine
 # push/pop, one switch traversal) plus the end-to-end Figure 3
@@ -46,4 +52,42 @@ awk '
   }
 ' "$out_txt" > "$out_json"
 
-echo "wrote $out_txt and $out_json"
+# Event-queue depth sweep. BenchmarkEventQueueDepth pits the calendar
+# queue against the heap at three standing depths; the depth=1k point
+# of the heap reproduces the old BenchmarkEnginePushPopDepth regime.
+# The sweep reuses one engine per sub-benchmark, so allocs/op doubles
+# as the zero-steady-state-allocation check at every depth.
+eq_txt=BENCH_eventq.txt
+eq_json=BENCH_eventq.json
+
+{
+  go test -run '^$' -bench 'BenchmarkEnginePushPopDepth$|BenchmarkEventQueueDepth' \
+    -benchmem -count "$count" ./internal/sim/
+  go test -run '^$' -bench 'BenchmarkFigure3$' -benchmem -benchtime 3x -count "$count" .
+} | tee "$eq_txt"
+
+awk '
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns[name] = $3; b[name] = $5; al[name] = $7
+    if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+  }
+  END {
+    printf "{\n"
+    printf "  \"baseline_pr1_heap\": {\n"
+    printf "    \"BenchmarkEnginePushPopDepth\": {\"ns_op\": 159.8, \"b_op\": 0, \"allocs_op\": 0},\n"
+    printf "    \"BenchmarkFigure3\": {\"ns_op\": 423900000}\n"
+    printf "  },\n"
+    printf "  \"current\": {\n"
+    for (i = 1; i <= n; i++) {
+      k = order[i]
+      printf "    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}%s\n",
+        k, ns[k], b[k], al[k], (i < n ? "," : "")
+    }
+    printf "  }\n"
+    printf "}\n"
+  }
+' "$eq_txt" > "$eq_json"
+
+echo "wrote $out_txt, $out_json, $eq_txt and $eq_json"

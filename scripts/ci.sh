@@ -21,4 +21,10 @@ go test -run 'ZeroAllocs' -v ./internal/core/ ./internal/sim/ ./internal/fabric/
 echo "==> determinism golden"
 go test -run 'TestFigure3Deterministic' -v ./internal/experiments/
 
+echo "==> scheduler equivalence (calendar vs heap differential)"
+go test -run 'TestEventQueueDifferential|TestEngineSchedulersEquivalent' -v ./internal/sim/
+
+echo "==> event-queue fuzz smoke"
+go test -run '^$' -fuzz 'FuzzEventQueueOrdering' -fuzztime 10s ./internal/sim/
+
 echo "CI OK"
