@@ -5,6 +5,7 @@
 //	ibbench -exp table1 -links 6 -mr 4 -scale full
 //	ibbench -exp table2 -links 4 -mr 4        # Table 2 census
 //	ibbench -exp all                          # everything at quick scale
+//	ibbench -exp faults -faults 'rand:4:15000@50000-150000; autoreconfig:10000'
 //
 // The -scale presets (quick, full) can be overridden field by field
 // with -sizes, -topos, -loads, -measure, -warmup, -load-lo, -load-hi,
@@ -21,6 +22,7 @@ import (
 	"strings"
 
 	"ibasim/internal/experiments"
+	"ibasim/internal/faults"
 	"ibasim/internal/prof"
 	"ibasim/internal/sim"
 )
@@ -63,7 +65,7 @@ func parsePatterns(s string) ([]experiments.PatternSpec, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, table1, table2, motivation, all")
+	exp := flag.String("exp", "all", "experiment: fig3, table1, table2, motivation, faults, all")
 	scaleName := flag.String("scale", "quick", "preset: quick or full")
 	switches := flag.Int("switches", 16, "fig3: network size")
 	links := flag.Int("links", 4, "inter-switch links per switch")
@@ -78,6 +80,8 @@ func main() {
 	pktSizes := flag.String("bytes", "", "override: packet sizes, e.g. 32,256")
 	patterns := flag.String("patterns", "", "table1 patterns: uniform,bit-reversal,hot-spot:0.1,...")
 	sched := flag.String("sched", "calendar", "event scheduler: calendar (O(1) wheel) or heap (binary-heap reference); results are bit-identical")
+	faultSpec := flag.String("faults", "rand:4:15000@50000-150000; autoreconfig:10000", "faults: campaign spec string or @file.json")
+	faultSeed := flag.Uint64("fault-seed", 1, "faults: seed for the campaign's randomized elements")
 	pcfg := prof.Flags()
 	flag.Parse()
 
@@ -179,6 +183,20 @@ func main() {
 		}
 	}
 
+	runFaults := func(links, mr int) {
+		camp, err := faults.Load(*faultSpec)
+		if err != nil {
+			fail(err)
+		}
+		rows, err := experiments.FaultCampaign(sc, links, mr, camp, *faultSeed)
+		if err != nil {
+			fail(err)
+		}
+		if err := experiments.WriteFaultTable(os.Stdout, rows); err != nil {
+			fail(err)
+		}
+	}
+
 	runMotivation := func() {
 		rows, err := experiments.Motivation(sc)
 		if err != nil {
@@ -198,6 +216,8 @@ func main() {
 		runTable1(*links, *mr)
 	case "table2":
 		runTable2(*links, *mr)
+	case "faults":
+		runFaults(*links, *mr)
 	case "all":
 		fmt.Println("== Figure 3 ==")
 		runFig3(*switches)

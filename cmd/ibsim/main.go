@@ -7,6 +7,12 @@
 //	ibsim -switches 16 -load 0.02
 //	ibsim -switches 64 -links 6 -mr 4 -adaptive-frac 1 -pattern hot-spot -hotspot 0.10
 //	ibsim -plain -adaptive-frac 0        # stock deterministic subnet
+//
+// Fault-injection campaigns (see the faults package for the grammar):
+//
+//	ibsim -faults 'flap@60000:0-1:20000; autoreconfig:10000'
+//	ibsim -faults 'rand:4:15000@50000-200000; autoreconfig:10000' -fault-seed 7
+//	ibsim -faults @campaign.json
 package main
 
 import (
@@ -35,6 +41,8 @@ func main() {
 	flag.Int64Var(&cfg.MeasureNs, "measure", cfg.MeasureNs, "measurement window, ns")
 	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "traffic/selection seed")
 	flag.StringVar(&cfg.Scheduler, "sched", "calendar", "event scheduler: calendar (O(1) wheel) or heap (binary-heap reference); results are bit-identical")
+	flag.StringVar(&cfg.Faults, "faults", "", "fault campaign: spec string (e.g. 'flap@60000:0-1:20000; autoreconfig:10000') or @file.json")
+	flag.Uint64Var(&cfg.FaultSeed, "fault-seed", 0, "seed for the campaign's randomized elements (rand: flaps)")
 	traceN := flag.Int("packet-trace", 0, "record and print the last N packet lifecycle events")
 	sweep := flag.Bool("sweep", false, "sweep offered load and print the full curve")
 	loadLo := flag.Float64("load-lo", 0.002, "sweep: lowest per-host load")
@@ -96,4 +104,21 @@ func main() {
 	fmt.Printf("offered traffic: %.5f bytes/ns/switch\n", res.OfferedPerSwitch)
 	fmt.Printf("accepted:        %.5f bytes/ns/switch\n", res.AcceptedPerSwitch)
 	fmt.Printf("avg latency:     %.0f ns over %d packets\n", res.AvgLatencyNs, res.PacketsMeasured)
+	if cfg.Faults != "" {
+		d := res.Degraded
+		fmt.Printf("faults:          %d injected, %d repairs, %d reconfigs\n",
+			d.FaultsInjected, d.Repairs, d.Reconfigs)
+		fmt.Printf("drops:           %d (unroutable %d, dead-port %d, timeout %d), %d retries, %d lost\n",
+			d.Dropped(), d.DroppedUnroutable, d.DroppedOnDeadPort, d.DroppedTimeout, d.Retries, d.Lost)
+		if d.RecoveryLatencyNs >= 0 {
+			fmt.Printf("recovery:        %d ns (first fault to first post-reconfig delivery)\n", d.RecoveryLatencyNs)
+		} else {
+			fmt.Printf("recovery:        not observed\n")
+		}
+		fmt.Printf("watchdog:        %d samples, %d violations\n", d.WatchdogSamples, d.WatchdogViolations)
+		if d.WatchdogViolations > 0 {
+			fmt.Fprintf(os.Stderr, "ibsim: %s\n", d.FirstViolation)
+			os.Exit(1)
+		}
+	}
 }

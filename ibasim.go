@@ -19,6 +19,7 @@ import (
 
 	"ibasim/internal/core"
 	"ibasim/internal/experiments"
+	"ibasim/internal/faults"
 	"ibasim/internal/sim"
 	"ibasim/internal/topology"
 	"ibasim/internal/trace"
@@ -90,6 +91,16 @@ type Config struct {
 	// EscapeReserveCredits overrides the escape queue's share of each
 	// VL buffer (default: half of the buffer, the paper's split).
 	EscapeReserveCredits int
+
+	// Faults, when non-empty, runs a fault-injection campaign during
+	// the simulation: either a spec string ("flap@60000:0-1:20000;
+	// autoreconfig:10000") or "@path" naming a JSON campaign file —
+	// see faults.Parse for the grammar. A campaign enables host-side
+	// send timeouts and bounded retry, staged SM reconfiguration, and
+	// the invariant watchdog; Result.Degraded reports the outcome.
+	// FaultSeed drives the campaign's randomized elements.
+	Faults    string
+	FaultSeed uint64
 }
 
 // DefaultConfig returns a 16-switch quick-run configuration with the
@@ -133,6 +144,64 @@ type Result struct {
 	// ordering: peak packets parked and mean added delay.
 	ReorderPeakHeld   int
 	ReorderAvgDelayNs float64
+
+	// Degraded reports fault-campaign observables (drops by reason,
+	// retries, losses, staged-recovery latency, watchdog verdict).
+	// Zero unless Config.Faults ran a campaign.
+	Degraded Degraded
+}
+
+// Degraded reports how a run behaved under a fault campaign.
+type Degraded struct {
+	// FaultsInjected, Repairs and Reconfigs count executed failure
+	// events, repair events, and completed staged reconfigurations.
+	FaultsInjected int
+	Repairs        int
+	Reconfigs      int
+
+	// Packet drops by reason, plus source-side retries and packets
+	// lost for good (retry budget exhausted).
+	DroppedUnroutable uint64
+	DroppedOnDeadPort uint64
+	DroppedTimeout    uint64
+	Retries           uint64
+	Lost              uint64
+
+	// RerouteDrops counts buffered packets staged recovery discarded.
+	RerouteDrops int
+
+	// RecoveryLatencyNs: first fault to first post-reconfiguration
+	// delivery; -1 if never observed.
+	RecoveryLatencyNs int64
+
+	// Watchdog verdict: audit ticks run, invariant breaches seen, and
+	// the first breach's message ("" when clean).
+	WatchdogSamples    uint64
+	WatchdogViolations int
+	FirstViolation     string
+}
+
+// Dropped sums the per-reason drop counters.
+func (d Degraded) Dropped() uint64 {
+	return d.DroppedUnroutable + d.DroppedOnDeadPort + d.DroppedTimeout
+}
+
+func degradedFrom(d experiments.DegradedStats) Degraded {
+	return Degraded{
+		FaultsInjected:     d.FaultsInjected,
+		Repairs:            d.Repairs,
+		Reconfigs:          d.Reconfigs,
+		DroppedUnroutable:  d.DroppedUnroutable,
+		DroppedOnDeadPort:  d.DroppedOnDeadPort,
+		DroppedTimeout:     d.DroppedTimeout,
+		Retries:            d.Retries,
+		Lost:               d.Lost,
+		RerouteDrops:       d.RerouteDrops,
+		RecoveryLatencyNs:  d.RecoveryLatencyNs,
+		WatchdogSamples:    d.WatchdogSamples,
+		WatchdogViolations: d.WatchdogViolations,
+		FirstViolation:     d.FirstViolation,
+	}
 }
 
 // Point is one load point of a sweep.
@@ -190,6 +259,14 @@ func (c Config) spec() (experiments.RunSpec, error) {
 		}
 		spec.Fabric.EngineOpts = append(spec.Fabric.EngineOpts, sim.WithScheduler(kind))
 	}
+	if c.Faults != "" {
+		camp, err := faults.Load(c.Faults)
+		if err != nil {
+			return experiments.RunSpec{}, err
+		}
+		spec.Faults = camp
+		spec.FaultSeed = c.FaultSeed
+	}
 	return spec, nil
 }
 
@@ -198,16 +275,8 @@ func patternFor(c Config, numHosts int) (traffic.Pattern, error) {
 	return experiments.BuildPattern(ps, numHosts, c.Seed)
 }
 
-// Simulate runs one simulation and returns its observables.
-func Simulate(c Config) (Result, error) {
-	spec, err := c.spec()
-	if err != nil {
-		return Result{}, err
-	}
-	res, err := experiments.Run(spec)
-	if err != nil {
-		return Result{}, err
-	}
+// resultFrom converts an internal run result to the public shape.
+func resultFrom(res experiments.RunResult) Result {
 	return Result{
 		OfferedPerSwitch:   res.OfferedPerSwitch,
 		AcceptedPerSwitch:  res.AcceptedPerSwitch,
@@ -217,7 +286,24 @@ func Simulate(c Config) (Result, error) {
 		OutOfOrderFraction: res.OutOfOrderFraction,
 		ReorderPeakHeld:    res.ReorderPeakHeld,
 		ReorderAvgDelayNs:  res.ReorderAvgDelayNs,
-	}, nil
+		Degraded:           degradedFrom(res.Degraded),
+	}
+}
+
+// Simulate runs one simulation and returns its observables. Under a
+// fault campaign (Config.Faults) a non-nil error with a partial
+// Result means the campaign itself failed — e.g. a reconfiguration
+// found the surviving topology disconnected.
+func Simulate(c Config) (Result, error) {
+	spec, err := c.spec()
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := experiments.Run(spec)
+	if err != nil {
+		return resultFrom(res), err
+	}
+	return resultFrom(res), nil
 }
 
 // TraceResult augments a Result with tracer aggregates.
@@ -250,16 +336,7 @@ func SimulateTraced(c Config, capacity int, w io.Writer) (TraceResult, error) {
 		}
 	}
 	return TraceResult{
-		Result: Result{
-			OfferedPerSwitch:   res.OfferedPerSwitch,
-			AcceptedPerSwitch:  res.AcceptedPerSwitch,
-			AvgLatencyNs:       res.AvgLatencyNs,
-			P99LatencyNs:       res.P99LatencyNs,
-			PacketsMeasured:    res.PacketsMeasured,
-			OutOfOrderFraction: res.OutOfOrderFraction,
-			ReorderPeakHeld:    res.ReorderPeakHeld,
-			ReorderAvgDelayNs:  res.ReorderAvgDelayNs,
-		},
+		Result:         resultFrom(res),
 		AdaptiveShare:  rec.AdaptiveShare(),
 		EventsRecorded: rec.Total(),
 	}, nil

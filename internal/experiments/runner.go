@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"ibasim/internal/fabric"
+	"ibasim/internal/faults"
 	"ibasim/internal/ib"
 	"ibasim/internal/metrics"
 	"ibasim/internal/reorder"
@@ -44,6 +45,14 @@ type RunSpec struct {
 	DrainGrace sim.Time
 
 	Seed uint64
+
+	// Faults, when non-nil, injects the campaign's failures on the sim
+	// clock and starts the invariant watchdog; FaultSeed drives the
+	// campaign's randomized elements (flap placement). A campaign also
+	// enables the host retry/timeout policy (fabric.DefaultRetry) if
+	// the Fabric config left it zero.
+	Faults    *faults.Campaign
+	FaultSeed uint64
 }
 
 // RunResult is the paper's pair of observables plus bookkeeping.
@@ -62,6 +71,46 @@ type RunResult struct {
 	// restore order: its peak occupancy and mean added delay.
 	ReorderPeakHeld   int
 	ReorderAvgDelayNs float64
+
+	// Degraded-mode observables; all zero unless RunSpec.Faults ran a
+	// campaign.
+	Degraded DegradedStats
+}
+
+// DegradedStats reports how a run behaved under a fault campaign.
+type DegradedStats struct {
+	// Fault-event bookkeeping: failures executed, repairs executed,
+	// staged reconfigurations completed.
+	FaultsInjected int
+	Repairs        int
+	Reconfigs      int
+
+	// Drop/retry accounting from the fabric.
+	DroppedUnroutable uint64
+	DroppedOnDeadPort uint64
+	DroppedTimeout    uint64
+	Retries           uint64
+	Lost              uint64
+
+	// RerouteDrops counts buffered packets staged recovery discarded
+	// while reprogramming tables.
+	RerouteDrops int
+
+	// RecoveryLatencyNs is the time from the first injected fault to
+	// the first delivery after the (last) staged reconfiguration
+	// completed; -1 if never observed.
+	RecoveryLatencyNs int64
+
+	// Watchdog outcome: audit ticks run and invariant breaches seen.
+	WatchdogSamples    uint64
+	WatchdogViolations int
+	// FirstViolation is the first breach's message ("" when clean).
+	FirstViolation string
+}
+
+// Dropped sums the per-reason drop counters.
+func (d DegradedStats) Dropped() uint64 {
+	return d.DroppedUnroutable + d.DroppedOnDeadPort + d.DroppedTimeout
 }
 
 // Run executes one simulation.
@@ -75,15 +124,20 @@ func RunObserved(spec RunSpec, observe func(*fabric.Network)) (RunResult, error)
 	if err != nil {
 		return RunResult{}, err
 	}
-	net, err := fabric.NewNetwork(spec.Topo, plan, spec.Fabric, spec.Seed)
+	fcfg := spec.Fabric
+	if spec.Faults != nil && !fcfg.Retry.Enabled() {
+		fcfg.Retry = fabric.DefaultRetry()
+	}
+	net, err := fabric.NewNetwork(spec.Topo, plan, fcfg, spec.Seed)
 	if err != nil {
 		return RunResult{}, err
 	}
-	if _, err := subnet.Configure(net, subnet.Options{
+	ropts := subnet.Options{
 		MaxRoutingOptions: spec.MR,
 		Root:              -1,
 		SourceMultipath:   spec.SourceMultipath,
-	}); err != nil {
+	}
+	if _, err := subnet.Configure(net, ropts); err != nil {
 		return RunResult{}, err
 	}
 	col := &metrics.Collector{
@@ -95,13 +149,24 @@ func RunObserved(spec RunSpec, observe func(*fabric.Network)) (RunResult, error)
 	if observe != nil {
 		observe(net)
 	}
+	var inj *faults.Injector
+	var dog *faults.Watchdog
+	if spec.Faults != nil {
+		inj, err = faults.Apply(net, spec.Faults, spec.FaultSeed, ropts)
+		if err != nil {
+			return RunResult{}, err
+		}
+		dog = faults.NewWatchdog(net, spec.Faults.Watchdog)
+		dog.Start()
+	}
 	gen, err := traffic.NewGenerator(net, spec.Traffic)
 	if err != nil {
 		return RunResult{}, err
 	}
 	end := spec.Warmup + spec.Measure
-	gen.Start(end)
-	net.Engine.Run(end + spec.DrainGrace)
+	if err := runEngine(net, gen, end, end+spec.DrainGrace); err != nil {
+		return RunResult{}, err
+	}
 	res := RunResult{
 		OfferedPerSwitch:   spec.Traffic.OfferedPerSwitch(spec.Topo.HostsPerSwitch),
 		AcceptedPerSwitch:  col.AcceptedPerSwitch(),
@@ -112,10 +177,52 @@ func RunObserved(spec RunSpec, observe func(*fabric.Network)) (RunResult, error)
 		ReorderPeakHeld:    col.Reorder.PeakHeld,
 		ReorderAvgDelayNs:  col.Reorder.AvgReorderDelay(),
 	}
+	if inj != nil {
+		dog.Stop()
+		fs := net.Faults
+		res.Degraded = DegradedStats{
+			FaultsInjected:    inj.FaultsInjected,
+			Repairs:           inj.Repairs,
+			Reconfigs:         inj.ReconfigsDone,
+			DroppedUnroutable: fs.DroppedUnroutable,
+			DroppedOnDeadPort: fs.DroppedOnDeadPort,
+			DroppedTimeout:    fs.DroppedTimeout,
+			Retries:           fs.Retries,
+			Lost:              fs.Lost,
+			RerouteDrops:      inj.RerouteDrops,
+			RecoveryLatencyNs: int64(inj.RecoveryLatency),
+			WatchdogSamples:   dog.Samples(),
+		}
+		if vs := dog.Violations(); len(vs) > 0 {
+			res.Degraded.WatchdogViolations = len(vs)
+			res.Degraded.FirstViolation = vs[0].Error()
+		}
+		if err := inj.Err(); err != nil {
+			return res, err
+		}
+	}
 	// Hand the drained queue storage back to the sweep's arena (no-op
 	// unless the spec carried sim.WithArena).
 	net.Engine.Recycle()
 	return res, nil
+}
+
+// runEngine starts traffic and runs the engine to the horizon,
+// converting a fatal watchdog Violation (panic) into a returned error
+// so campaign runs fail loudly but cleanly.
+func runEngine(net *fabric.Network, gen *traffic.Generator, genEnd, horizon sim.Time) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if v, ok := r.(faults.Violation); ok {
+				err = v
+				return
+			}
+			panic(r)
+		}
+	}()
+	gen.Start(genEnd)
+	net.Engine.Run(horizon)
+	return nil
 }
 
 // SweepPoint is one load point of a latency/throughput curve.

@@ -1,0 +1,72 @@
+package fabric
+
+import "fmt"
+
+// CheckCreditConservation verifies the flow-control invariants that
+// must hold at ANY simulated instant, packets in flight or not — the
+// runtime counterpart of CreditsIntact (which requires an idle
+// network). For every directed channel and VL, with c the credits the
+// transmitter believes are available and occ the credits actually
+// stored in the peer's buffer:
+//
+//	0 <= c <= CMax            (credits neither negative nor invented)
+//	c + occ <= CMax           (in-flight packets/updates only lower it)
+//	occ == Σ entry credits    (buffer occupancy bookkeeping is exact)
+//
+// and the paper's §4.4 split identities on the observed availability:
+//
+//	C_XYA = max(0, c − C_0),  C_XYE = min(C_0, c),  C_XYA + C_XYE = c
+//
+// The fault watchdog samples this on a tick; a violation means the
+// fabric corrupted credit state (e.g. a drop path forgot to return
+// buffer space), which would eventually masquerade as congestion or
+// deadlock.
+func (n *Network) CheckCreditConservation() error {
+	cmax := n.Cfg.BufferCredits
+	split := n.Cfg.Split
+	check := func(o *outPort, owner string) error {
+		if o == nil {
+			return nil
+		}
+		for vl, c := range o.credits {
+			if c < 0 || c > cmax {
+				return fmt.Errorf("fabric: %s port %d vl %d: %d credits outside [0,%d]",
+					owner, o.id, vl, c, cmax)
+			}
+			a, e := split.Adaptive(c), split.Escape(c)
+			if a+e != c || a < 0 || a > split.CAdaptiveCap() || e < 0 || e > split.CEscape {
+				return fmt.Errorf("fabric: %s port %d vl %d: split identity broken: c=%d C_XYA=%d C_XYE=%d (C_0=%d)",
+					owner, o.id, vl, c, a, e, split.CEscape)
+			}
+			if o.peerSwitch != nil {
+				buf := o.peerSwitch.in[o.peerPort].vls[vl]
+				sum := 0
+				for _, be := range buf.entries {
+					sum += be.pkt.Credits()
+				}
+				if sum != buf.occupied {
+					return fmt.Errorf("fabric: %s port %d vl %d: peer buffer claims %d credits occupied, entries hold %d",
+						owner, o.id, vl, buf.occupied, sum)
+				}
+				if c+buf.occupied > cmax {
+					return fmt.Errorf("fabric: %s port %d vl %d: credits %d + peer occupancy %d exceed capacity %d",
+						owner, o.id, vl, c, buf.occupied, cmax)
+				}
+			}
+		}
+		return nil
+	}
+	for _, sw := range n.Switches {
+		for _, o := range sw.out {
+			if err := check(o, fmt.Sprintf("switch %d", sw.id)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, h := range n.Hosts {
+		if err := check(h.out, fmt.Sprintf("host %d", h.id)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -59,6 +59,13 @@ type Config struct {
 	// these switches.
 	DeterministicOnly []int
 
+	// Retry configures the host-side fault-recovery behaviour: a send
+	// timeout on the source queue head and a bounded
+	// exponential-backoff re-injection of packets the fabric dropped.
+	// The zero value disables both (packets dropped by the fabric are
+	// lost), preserving the paper's loss-free steady-state model.
+	Retry RetryConfig
+
 	// EngineOpts configures the simulation engine's event scheduler
 	// (implementation, wheel geometry, storage arena). NewNetwork
 	// prepends a span hint derived from the link timing so the default
@@ -68,6 +75,54 @@ type Config struct {
 
 	// RoutingDelay, PropagationDelay and link rate come from
 	// internal/ib's constants; they are fixed by the paper's model.
+}
+
+// RetryConfig bounds how hard a source works to get a packet through
+// a faulty fabric before declaring it lost.
+type RetryConfig struct {
+	// MaxRetries is how many times a dropped packet is re-injected at
+	// its source before it counts as lost. 0 disables retries.
+	MaxRetries int
+
+	// BackoffBase is the delay before the first re-injection; each
+	// further attempt doubles it (exponential backoff), capped at
+	// BackoffMax when that is set.
+	BackoffBase sim.Time
+	BackoffMax  sim.Time
+
+	// SendTimeout drops (and, with MaxRetries > 0, retries) the source
+	// queue head after it has waited this long without the link
+	// becoming usable — the escape hatch for sources whose uplink or
+	// whole switch died. 0 disables the timeout.
+	SendTimeout sim.Time
+}
+
+// Enabled reports whether any retry machinery is active.
+func (r RetryConfig) Enabled() bool { return r.MaxRetries > 0 || r.SendTimeout > 0 }
+
+// backoff returns the re-injection delay for the given attempt number
+// (1-based).
+func (r RetryConfig) backoff(attempt int) sim.Time {
+	d := r.BackoffBase
+	if d <= 0 {
+		d = 1
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if r.BackoffMax > 0 && d >= r.BackoffMax {
+			return r.BackoffMax
+		}
+	}
+	if r.BackoffMax > 0 && d > r.BackoffMax {
+		d = r.BackoffMax
+	}
+	return d
+}
+
+// DefaultRetry returns the fault-campaign retry policy: 8 attempts,
+// 1 µs base backoff capped at 64 µs, 100 µs send timeout.
+func DefaultRetry() RetryConfig {
+	return RetryConfig{MaxRetries: 8, BackoffBase: 1_000, BackoffMax: 64_000, SendTimeout: 100_000}
 }
 
 // DefaultConfig returns the paper's evaluation parameters: 1 VL,
@@ -103,6 +158,9 @@ func (c Config) Validate() error {
 	}
 	if c.Split.CEscape < ib.Credits(c.MTU) || c.Split.CAdaptiveCap() < ib.Credits(c.MTU) {
 		return fmt.Errorf("fabric: split %+v cannot hold an MTU packet per logical queue", c.Split)
+	}
+	if c.Retry.MaxRetries < 0 || c.Retry.BackoffBase < 0 || c.Retry.BackoffMax < 0 || c.Retry.SendTimeout < 0 {
+		return fmt.Errorf("fabric: negative retry parameter %+v", c.Retry)
 	}
 	if c.SourceMultipath > 1 && c.AdaptiveSwitches {
 		return fmt.Errorf("fabric: source multipath is a plain-switch baseline; disable AdaptiveSwitches")

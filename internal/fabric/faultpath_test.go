@@ -1,0 +1,166 @@
+package fabric_test
+
+import (
+	"testing"
+
+	"ibasim/internal/fabric"
+	"ibasim/internal/ib"
+	"ibasim/internal/topology"
+)
+
+// TestSetLinkDownUpIdempotent: re-failing a dead link and re-repairing
+// a healthy one are no-ops, and the down flag is symmetric.
+func TestSetLinkDownUpIdempotent(t *testing.T) {
+	net := irregularNet(t, 8, 4, 1, fabric.DefaultConfig(), 2, 1)
+	l := net.Topo.Links[0]
+
+	if net.LinkIsDown(l.A, l.B) || net.LinkIsDown(l.B, l.A) {
+		t.Fatal("fresh link reported down")
+	}
+	for i := 0; i < 3; i++ { // repeated downs are idempotent
+		if err := net.SetLinkDown(l.A, l.B); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !net.LinkIsDown(l.A, l.B) || !net.LinkIsDown(l.B, l.A) {
+		t.Fatal("LinkIsDown not symmetric after SetLinkDown")
+	}
+	if got := net.DownLinks(); len(got) != 1 || got[0] != l {
+		t.Fatalf("DownLinks = %v, want [%v]", got, l)
+	}
+	for i := 0; i < 3; i++ { // repeated ups are idempotent
+		if err := net.SetLinkUp(l.A, l.B); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if net.LinkIsDown(l.A, l.B) || net.LinkIsDown(l.B, l.A) {
+		t.Fatal("link still down after SetLinkUp")
+	}
+	if err := net.SetLinkDown(l.A, 99); err == nil {
+		t.Fatal("nonexistent link accepted")
+	}
+}
+
+// TestSwitchDownDropsArrivalsAndConservesCredits: killing a switch
+// mid-traffic drops in-flight arrivals as dead-port (counted, no
+// panic) and every drop returns its credits upstream.
+func TestSwitchDownDropsArrivalsAndConservesCredits(t *testing.T) {
+	cfg := fabric.DefaultConfig()
+	cfg.Retry = fabric.RetryConfig{MaxRetries: 1, BackoffBase: 200, BackoffMax: 200, SendTimeout: 3_000}
+	net := lineNet(t, 2, cfg)
+
+	// A stream of packets from switch 0's hosts to switch 1's hosts
+	// keeps the inter-switch link busy when the switch dies.
+	for i := 0; i < 10; i++ {
+		src, dst := i%4, 4+i%4
+		net.Hosts[src].Inject(net.NewPacket(src, dst, 32, true))
+	}
+	net.Engine.At(500, func() {
+		if err := net.SetSwitchDown(1); err != nil {
+			t.Error(err)
+		}
+	})
+	net.Engine.RunUntilIdle()
+
+	fs := net.Faults
+	if fs.DroppedOnDeadPort == 0 {
+		t.Fatalf("no dead-port drops despite in-flight traffic: %+v", fs)
+	}
+	if fs.Retries == 0 {
+		t.Fatalf("dropped packets never retried: %+v", fs)
+	}
+	// Packets routed toward the dead switch park in switch 0; the
+	// conservation identities must hold even mid-wedge.
+	if err := net.CheckCreditConservation(); err != nil {
+		t.Fatalf("credit conservation after drops: %v", err)
+	}
+	// Killing a dead switch again is an idempotent no-op.
+	before := net.Faults
+	if err := net.SetSwitchDown(1); err != nil {
+		t.Fatal(err)
+	}
+	if net.Faults != before {
+		t.Fatalf("repeated SetSwitchDown changed counters: %+v -> %+v", before, net.Faults)
+	}
+
+	// Revival kicks the neighbors: every parked and retried packet
+	// completes its journey.
+	if err := net.SetSwitchUp(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetSwitchUp(1); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if net.SwitchIsDown(1) {
+		t.Fatal("switch still down after SetSwitchUp")
+	}
+	net.Engine.RunUntilIdle()
+	if net.InFlight() != 0 {
+		t.Fatalf("%d packets still in flight after revival", net.InFlight())
+	}
+	if err := net.CreditsIntact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetSwitchDown(99); err == nil {
+		t.Fatal("nonexistent switch accepted")
+	}
+}
+
+// TestSendTimeoutRetriesThenLoses: a host whose switch is dead times
+// out its queue head, retries with backoff, and finally counts the
+// packet lost — all without touching working code paths.
+func TestSendTimeoutRetriesThenLoses(t *testing.T) {
+	cfg := fabric.DefaultConfig()
+	cfg.Retry = fabric.RetryConfig{MaxRetries: 2, BackoffBase: 100, BackoffMax: 400, SendTimeout: 1_000}
+	net := lineNet(t, 2, cfg)
+	if err := net.SetSwitchDown(0); err != nil {
+		t.Fatal(err)
+	}
+	var drops []fabric.DropReason
+	net.OnDropped = func(_ *ib.Packet, reason fabric.DropReason) { drops = append(drops, reason) }
+	net.Hosts[0].Inject(net.NewPacket(0, 4, 32, true))
+	net.Engine.RunUntilIdle()
+
+	fs := net.Faults
+	if fs.DroppedTimeout != 3 || fs.Retries != 2 || fs.Lost != 1 {
+		t.Fatalf("timeout/retry accounting = %+v, want 3 timeouts, 2 retries, 1 lost", fs)
+	}
+	if len(drops) != 3 {
+		t.Fatalf("OnDropped fired %d times, want 3", len(drops))
+	}
+	for _, r := range drops {
+		if r != fabric.DropTimeout {
+			t.Fatalf("drop reason %v, want %v", r, fabric.DropTimeout)
+		}
+	}
+	if net.InFlight() != 0 {
+		t.Fatalf("%d packets still queued", net.InFlight())
+	}
+}
+
+// TestUnroutableLookupDropsInsteadOfPanic: a packet reaching a switch
+// with no programmed route for its DLID is counted and discarded, not
+// a crash.
+func TestUnroutableLookupDropsInsteadOfPanic(t *testing.T) {
+	topo, err := topology.Line(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ib.NewAddressPlan(topo.NumHosts(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := fabric.NewNetwork(topo, plan, fabric.DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No subnet.Configure: every forwarding table is unprogrammed.
+	net.Hosts[0].Inject(net.NewPacket(0, 4, 32, false))
+	net.Engine.RunUntilIdle()
+	if net.Faults.DroppedUnroutable != 1 {
+		t.Fatalf("unroutable drops = %d, want 1", net.Faults.DroppedUnroutable)
+	}
+	if err := net.CheckCreditConservation(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ibasim/internal/ib"
+	"ibasim/internal/sim"
 )
 
 // Host models one end node's channel adapter port: an injection queue
@@ -25,6 +26,13 @@ type Host struct {
 	kickFn   func()
 	injectFn func()
 
+	// timeoutFn and timeoutArmed implement the send timeout of
+	// Cfg.Retry: at most one expiry check is in flight, armed for the
+	// deadline of the current queue head. Inactive (never scheduled)
+	// when Retry.SendTimeout is 0.
+	timeoutFn    func()
+	timeoutArmed sim.Time // deadline the pending check covers; 0 = none
+
 	// nextSeq numbers generated packets per destination, so the
 	// deliver side can verify in-order arrival of deterministic
 	// traffic.
@@ -42,6 +50,15 @@ func (h *Host) ID() int { return h.id }
 // QueueLen returns the number of packets waiting in the source queue.
 func (h *Host) QueueLen() int { return len(h.queue) }
 
+// HeadID returns the ID of the packet at the source-queue head, or 0
+// when the queue is empty (watchdog progress probe).
+func (h *Host) HeadID() uint64 {
+	if len(h.queue) == 0 {
+		return 0
+	}
+	return h.queue[0].ID
+}
+
 // Inject hands a generated packet to the CA. The packet's Src must be
 // this host; DLID and Adaptive must already agree with the network's
 // address plan (traffic generators use Network.NewPacket, which
@@ -52,10 +69,22 @@ func (h *Host) Inject(pkt *ib.Packet) {
 	}
 	pkt.SeqNo = h.nextSeq[pkt.Dst]
 	h.nextSeq[pkt.Dst]++
+	pkt.QueuedAt = h.net.Engine.Now()
 	h.queue = append(h.queue, pkt)
 	if h.net.OnCreated != nil {
 		h.net.OnCreated(pkt)
 	}
+	h.armSendTimeout()
+	h.kick()
+}
+
+// requeue re-enters a packet the fabric dropped (fault-recovery
+// retry): it keeps its identity and SeqNo but restarts its journey.
+func (h *Host) requeue(pkt *ib.Packet) {
+	pkt.Hops = 0
+	pkt.QueuedAt = h.net.Engine.Now()
+	h.queue = append(h.queue, pkt)
+	h.armSendTimeout()
 	h.kick()
 }
 
@@ -75,6 +104,47 @@ func (h *Host) finishWiring() {
 	h.injectFn = func() {
 		h.injPending = false
 		h.tryInject()
+	}
+	h.timeoutFn = func() {
+		h.timeoutArmed = 0
+		h.expireHead()
+		h.armSendTimeout()
+	}
+}
+
+// armSendTimeout schedules (at most one) expiry check for the current
+// queue head's deadline. No-op when the timeout is disabled or a check
+// already covers an earlier-or-equal deadline.
+func (h *Host) armSendTimeout() {
+	to := h.net.Cfg.Retry.SendTimeout
+	if to <= 0 || len(h.queue) == 0 {
+		return
+	}
+	deadline := h.queue[0].QueuedAt + to
+	if h.timeoutArmed != 0 && h.timeoutArmed <= deadline {
+		return
+	}
+	h.timeoutArmed = deadline
+	now := h.net.Engine.Now()
+	delay := deadline - now
+	if delay < 0 {
+		delay = 0
+	}
+	h.net.Engine.Schedule(delay, h.timeoutFn)
+}
+
+// expireHead drops every queue-head packet whose send deadline has
+// passed (the link stayed down or starved past Retry.SendTimeout).
+func (h *Host) expireHead() {
+	to := h.net.Cfg.Retry.SendTimeout
+	if to <= 0 {
+		return
+	}
+	now := h.net.Engine.Now()
+	for len(h.queue) > 0 && now-h.queue[0].QueuedAt >= to {
+		pkt := h.queue[0]
+		h.queue = h.queue[1:]
+		h.net.dropPacket(pkt, DropTimeout)
 	}
 }
 
@@ -99,6 +169,7 @@ func (h *Host) tryInject() {
 		h.out.txPackets++
 		pkt.InjectedAt = now
 		h.Injected++
+		h.net.moved++
 
 		h.net.scheduleReceive(ib.PropagationDelay, h.out.peerSwitch, h.out.peerPort, vl, pkt)
 		h.net.Engine.Schedule(ser, h.kickFn)
@@ -113,6 +184,7 @@ func (h *Host) deliver(pkt *ib.Packet) {
 	}
 	pkt.DeliveredAt = h.net.Engine.Now()
 	h.Delivered++
+	h.net.moved++
 	if h.net.OnDelivered != nil {
 		h.net.OnDelivered(pkt)
 	}

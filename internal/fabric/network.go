@@ -38,6 +38,102 @@ type Network struct {
 	OnCreated   func(*ib.Packet)
 	OnDelivered func(*ib.Packet)
 	OnHop       func(p *ib.Packet, sw int, out ib.PortID, adaptive bool)
+
+	// OnDropped fires when the fabric discards a packet (unroutable
+	// DLID, dead port/switch, or source send timeout). Same chaining
+	// contract as the other hooks. A dropped packet may still be
+	// re-injected by its source under Cfg.Retry; OnDropped fires once
+	// per drop, not once per loss.
+	OnDropped func(p *ib.Packet, reason DropReason)
+
+	// Faults accumulates the degraded-mode counters. All zero on a
+	// fault-free run.
+	Faults FaultStats
+
+	// moved counts packet movements (injections, hops, deliveries,
+	// drops); the forward-progress watchdog reads it to distinguish a
+	// busy fabric from a wedged one.
+	moved uint64
+}
+
+// DropReason classifies why the fabric discarded a packet.
+type DropReason uint8
+
+const (
+	// DropUnroutable: the forwarding-table access found no programmed
+	// port for the packet's DLID (mid-reconfiguration transient).
+	DropUnroutable DropReason = iota
+	// DropDeadPort: the packet sat in (or arrived at) a failed switch.
+	DropDeadPort
+	// DropTimeout: the source queue head waited past Retry.SendTimeout.
+	DropTimeout
+
+	// NumDropReasons sizes per-reason counter arrays.
+	NumDropReasons
+)
+
+func (r DropReason) String() string {
+	switch r {
+	case DropUnroutable:
+		return "unroutable"
+	case DropDeadPort:
+		return "dead-port"
+	case DropTimeout:
+		return "send-timeout"
+	}
+	return fmt.Sprintf("drop-reason(%d)", uint8(r))
+}
+
+// FaultStats are the degraded-mode counters of one network.
+type FaultStats struct {
+	// DroppedUnroutable, DroppedOnDeadPort and DroppedTimeout count
+	// packet drops by reason; Dropped() is their sum.
+	DroppedUnroutable uint64
+	DroppedOnDeadPort uint64
+	DroppedTimeout    uint64
+
+	// Retries counts re-injections of dropped packets at their source;
+	// Lost counts packets discarded for good (retry budget exhausted
+	// or retries disabled).
+	Retries uint64
+	Lost    uint64
+}
+
+// Dropped returns the total number of drop events.
+func (f FaultStats) Dropped() uint64 {
+	return f.DroppedUnroutable + f.DroppedOnDeadPort + f.DroppedTimeout
+}
+
+// Moved returns the total number of packet movements (injections,
+// hops, deliveries, drops) so far — a monotone progress clock for
+// deadlock detection.
+func (n *Network) Moved() uint64 { return n.moved }
+
+// dropPacket accounts one discarded packet and, when the retry policy
+// allows, schedules its re-injection at the source with exponential
+// backoff.
+func (n *Network) dropPacket(pkt *ib.Packet, reason DropReason) {
+	switch reason {
+	case DropUnroutable:
+		n.Faults.DroppedUnroutable++
+	case DropDeadPort:
+		n.Faults.DroppedOnDeadPort++
+	case DropTimeout:
+		n.Faults.DroppedTimeout++
+	}
+	n.moved++
+	if n.OnDropped != nil {
+		n.OnDropped(pkt, reason)
+	}
+	rp := n.Cfg.Retry
+	if rp.MaxRetries > 0 && pkt.Attempts < rp.MaxRetries {
+		pkt.Attempts++
+		n.Faults.Retries++
+		h := n.Hosts[pkt.Src]
+		n.Engine.Schedule(rp.backoff(pkt.Attempts), func() { h.requeue(pkt) })
+		return
+	}
+	n.Faults.Lost++
 }
 
 // NewNetwork wires a subnet over the topology. The LMC is chosen by

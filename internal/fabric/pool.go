@@ -15,9 +15,9 @@ import (
 
 // Event kinds dispatched by fabricEvent.Do.
 const (
-	evReceive uint8 = iota // packet head arrives at a switch input port
-	evDeliver              // packet tail arrives at the destination CA
-	evCreditReturn         // flow-control update reaches the transmitter
+	evReceive      uint8 = iota // packet head arrives at a switch input port
+	evDeliver                   // packet tail arrives at the destination CA
+	evCreditReturn              // flow-control update reaches the transmitter
 )
 
 // fabricEvent is a pooled sim.Action carrying the payload of one

@@ -22,6 +22,16 @@ type Switch struct {
 	// queues per VL (§4.2 allows mixing both kinds in one subnet).
 	enhanced bool
 
+	// dead marks a whole-switch failure: arriving packets are dropped
+	// and every port stays silent until SetSwitchUp.
+	dead bool
+
+	// escapeOnly restricts forwarding to the escape (up*/down*) option
+	// while the switch's table is stale during a staged
+	// reconfiguration — adaptive moves computed against the old
+	// topology are not trusted until the SM reprograms this switch.
+	escapeOnly bool
+
 	table *core.AdaptiveTable
 	sl2vl *ib.SLtoVLTable
 
@@ -58,6 +68,57 @@ func (sw *Switch) Enhanced() bool { return sw.enhanced }
 // Table exposes the forwarding table for the subnet manager.
 func (sw *Switch) Table() *core.AdaptiveTable { return sw.table }
 
+// Dead reports whether the switch has failed whole (SetSwitchDown).
+func (sw *Switch) Dead() bool { return sw.dead }
+
+// EscapeOnly reports whether the switch is in the staged-reconfig
+// transient where only escape forwarding is trusted.
+func (sw *Switch) EscapeOnly() bool { return sw.escapeOnly }
+
+// SetEscapeOnly flips the stale-table transient mode. The subnet
+// manager sets it when a staged reconfiguration sweep starts and
+// clears it as each switch is reprogrammed.
+func (sw *Switch) SetEscapeOnly(v bool) {
+	sw.escapeOnly = v
+	if !v {
+		sw.kick()
+	}
+}
+
+// TxPackets sums packets transmitted through all output ports — a
+// per-switch progress clock for the forward-progress watchdog.
+func (sw *Switch) TxPackets() uint64 {
+	var n uint64
+	for _, o := range sw.out {
+		if o != nil {
+			n += o.txPackets
+		}
+	}
+	return n
+}
+
+// QueuedPackets counts packets buffered in the switch.
+func (sw *Switch) QueuedPackets() int { return sw.queuedPackets() }
+
+// ScanBuffers calls fn for every wired (port, VL) input buffer with
+// its current depth and head packet ID (0 when empty), in a fixed
+// port-major order. The forward-progress watchdog samples these to
+// detect service points whose head packet stopped moving.
+func (sw *Switch) ScanBuffers(fn func(port ib.PortID, vl int, depth int, headID uint64)) {
+	for p, in := range sw.in {
+		if in == nil {
+			continue
+		}
+		for vl, buf := range in.vls {
+			var head uint64
+			if e := buf.head(); e != nil {
+				head = e.pkt.ID
+			}
+			fn(ib.PortID(p), vl, buf.len(), head)
+		}
+	}
+}
+
 // kick schedules an allocation pass at the current time, coalescing
 // multiple triggers within one event timestamp.
 func (sw *Switch) kick() {
@@ -85,6 +146,14 @@ func (sw *Switch) finishWiring() {
 // arrives at the switch, before reaching the head of the input
 // buffer", §4.3); the packet becomes servable after RoutingDelay.
 func (sw *Switch) receive(port ib.PortID, vl int, pkt *ib.Packet) {
+	if sw.dead {
+		// The switch failed while the packet was on the wire: it is
+		// discarded at the dead input, and the freed buffer space is
+		// reported upstream so credit conservation holds.
+		sw.net.scheduleCreditReturn(ib.PropagationDelay, sw.in[port].upstream, vl, pkt.Credits())
+		sw.net.dropPacket(pkt, DropDeadPort)
+		return
+	}
 	now := sw.net.Engine.Now()
 	e := sw.net.getEntry()
 	e.pkt = pkt
@@ -92,7 +161,9 @@ func (sw *Switch) receive(port ib.PortID, vl int, pkt *ib.Packet) {
 	if sw.enhanced {
 		escape, adaptive, err := sw.table.Lookup(pkt.DLID)
 		if err != nil {
-			panic(fmt.Sprintf("fabric: switch %d: %v", sw.id, err))
+			sw.net.putEntry(e)
+			sw.dropUnroutable(port, vl, pkt)
+			return
 		}
 		e.escape, e.adaptive = escape, adaptive
 		if !sw.net.Cfg.Selection.AtArbitration {
@@ -103,7 +174,9 @@ func (sw *Switch) receive(port ib.PortID, vl int, pkt *ib.Packet) {
 		// the single routing option.
 		p := sw.table.Get(pkt.DLID)
 		if p == ib.InvalidPort {
-			panic(fmt.Sprintf("fabric: switch %d: DLID %d unprogrammed", sw.id, pkt.DLID))
+			sw.net.putEntry(e)
+			sw.dropUnroutable(port, vl, pkt)
+			return
 		}
 		e.escape = p
 	}
@@ -111,12 +184,20 @@ func (sw *Switch) receive(port ib.PortID, vl int, pkt *ib.Packet) {
 	sw.net.Engine.Schedule(ib.RoutingDelay, sw.kickFn)
 }
 
+// dropUnroutable discards a packet whose DLID has no programmed port
+// (a mid-reconfiguration transient) and returns its buffer space to
+// the upstream transmitter.
+func (sw *Switch) dropUnroutable(port ib.PortID, vl int, pkt *ib.Packet) {
+	sw.net.scheduleCreditReturn(ib.PropagationDelay, sw.in[port].upstream, vl, pkt.Credits())
+	sw.net.dropPacket(pkt, DropUnroutable)
+}
+
 // selectImmediate fixes the output port right after the table access
 // (§4.3 immediate selection). Status-aware immediate selection uses
 // the credit/link status at this moment; static selection picks
 // uniformly among all returned options.
 func (sw *Switch) selectImmediate(e *bufEntry) {
-	if !e.pkt.Adaptive || len(e.adaptive) == 0 {
+	if !e.pkt.Adaptive || len(e.adaptive) == 0 || sw.escapeOnly {
 		e.chosen, e.chosenIsAdaptive = e.escape, false
 		return
 	}
@@ -269,8 +350,10 @@ func (sw *Switch) chooseOutput(e *bufEntry, now sim.Time) (out ib.PortID, asAdap
 		return e.chosen, e.chosenIsAdaptive, true
 	}
 	// Arbitration-time selection: adaptive options first (preference
-	// for minimal paths, §3), escape as fallback.
-	if e.pkt.Adaptive && len(e.adaptive) > 0 && sw.enhanced {
+	// for minimal paths, §3), escape as fallback. The staged-reconfig
+	// transient (escapeOnly) suppresses adaptive moves computed from a
+	// stale table.
+	if e.pkt.Adaptive && len(e.adaptive) > 0 && sw.enhanced && !sw.escapeOnly {
 		cands := sw.adaptiveCandidates(e, now)
 		if i := core.PickAdaptive(sw.net.Cfg.Selection, cands, sw.net.rng); i >= 0 {
 			return cands[i].Port, true, true
@@ -303,6 +386,7 @@ func (sw *Switch) startTx(buf *vlBuffer, idx int, sp servicePoint, out ib.PortID
 	o.busyAccum += ser
 	o.txPackets++
 	pkt.Hops++
+	sw.net.moved++
 	if sw.net.OnHop != nil {
 		sw.net.OnHop(pkt, sw.id, out, asAdaptive)
 	}

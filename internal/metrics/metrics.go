@@ -94,6 +94,20 @@ type Collector struct {
 	// buffer and its occupancy/delay statistics quantify what
 	// restoring order on top of adaptive routing would cost.
 	Reorder *reorder.Buffer
+
+	// Dropped counts packets the fabric discarded, by reason — the
+	// degraded-mode view a fault campaign reports. All zero on a
+	// healthy run.
+	Dropped [fabric.NumDropReasons]uint64
+}
+
+// DroppedTotal sums the per-reason drop counters.
+func (c *Collector) DroppedTotal() uint64 {
+	var t uint64
+	for _, v := range c.Dropped {
+		t += v
+	}
+	return t
 }
 
 // Attach registers the collector on the network. It must be called
@@ -108,6 +122,11 @@ func (c *Collector) Attach(net *fabric.Network) {
 		}
 	}
 	net.OnDelivered = func(p *ib.Packet) { c.onDelivered(p) }
+	net.OnDropped = func(p *ib.Packet, reason fabric.DropReason) {
+		if reason >= 0 && int(reason) < len(c.Dropped) {
+			c.Dropped[reason]++
+		}
+	}
 }
 
 func (c *Collector) onDelivered(p *ib.Packet) {

@@ -18,9 +18,10 @@ import (
 //
 // The reconfiguration is modelled as atomic at the current simulated
 // instant. Real subnet managers reprogram switches one VS-command at a
-// time; the transient where switches disagree is not modelled (the
-// paper does not evaluate reconfiguration — this entry point exists to
-// exercise fault recovery in tests and tools).
+// time; ReconfigureStaged models that transient (sweep delay,
+// per-switch programming latency, escape-only forwarding on stale
+// switches). Duplicate links in failed are tolerated: the failure set
+// is deduplicated and re-failing a dead link is a no-op.
 func Reconfigure(net *fabric.Network, opts Options, failed ...topology.Link) (*routing.FA, error) {
 	for _, l := range failed {
 		if err := net.SetLinkDown(l.A, l.B); err != nil {

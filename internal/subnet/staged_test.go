@@ -1,0 +1,131 @@
+package subnet
+
+import (
+	"strings"
+	"testing"
+
+	"ibasim/internal/ib"
+	"ibasim/internal/topology"
+)
+
+func TestStagedEscapeOnlyTransientAndCompletion(t *testing.T) {
+	net := buildNet(t, 8, 4, 1, 1, true)
+	if _, err := Configure(net, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	failed := net.Topo.Links[0]
+	done := -1
+	st := StagedOptions{SweepDelay: 2_000, PerSwitchDelay: 500, OnDone: func(dropped int) { done = dropped }}
+	staged, err := ReconfigureStaged(net, DefaultOptions(), st, failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := net.Engine.Now() + 2_000 + 8*500; staged.DoneAt != want {
+		t.Fatalf("DoneAt = %d, want %d", staged.DoneAt, want)
+	}
+
+	// Before the sweep completes nothing has changed.
+	net.Engine.Run(1_999)
+	for _, sw := range net.Switches {
+		if sw.EscapeOnly() {
+			t.Fatal("escape-only before the sweep delay elapsed")
+		}
+	}
+	// Inside the transient every switch forwards escape-only.
+	net.Engine.Run(2_200)
+	for _, sw := range net.Switches {
+		if !sw.EscapeOnly() {
+			t.Fatalf("switch %d not escape-only during the transient", sw.ID())
+		}
+	}
+	// After DoneAt the fabric is fully reprogrammed and adaptive again.
+	net.Engine.Run(staged.DoneAt + 1)
+	for _, sw := range net.Switches {
+		if sw.EscapeOnly() {
+			t.Fatalf("switch %d still escape-only after recovery", sw.ID())
+		}
+	}
+	if done < 0 {
+		t.Fatal("OnDone never called")
+	}
+	// The reprogrammed tables avoid the dead ports.
+	pa, err := net.PortToNeighbor(failed.A, failed.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dst := 0; dst < net.Topo.NumHosts(); dst++ {
+		base := net.Plan.BaseLID(dst)
+		for off := 0; off < net.Plan.RangeSize(); off++ {
+			if net.Switches[failed.A].Table().Get(base+ib.LID(off)) == pa {
+				t.Fatalf("switch %d still routes dst %d over dead port", failed.A, dst)
+			}
+		}
+	}
+}
+
+func TestStagedRejectsDisconnection(t *testing.T) {
+	topo, err := topology.Line(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netFromTopo(t, topo, 1, true)
+	if _, err := Configure(net, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReconfigureStaged(net, DefaultOptions(), DefaultStagedOptions(), topo.Links[1])
+	if err == nil {
+		t.Fatal("disconnecting failure accepted")
+	}
+	if !strings.Contains(err.Error(), "subnet: failures disconnect the network") {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+// TestReconfigureDuplicateFailedLinks: re-reporting an already-failed
+// link (as repeated SM sweeps do) must be an idempotent no-op.
+func TestReconfigureDuplicateFailedLinks(t *testing.T) {
+	net := buildNet(t, 16, 4, 1, 1, true)
+	if _, err := Configure(net, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	failed := net.Topo.Links[0]
+	if _, err := Reconfigure(net, DefaultOptions(), failed, failed, failed); err != nil {
+		t.Fatalf("duplicate failed links rejected: %v", err)
+	}
+	if !net.LinkIsDown(failed.A, failed.B) {
+		t.Fatal("failed link not marked down")
+	}
+	// Reconfiguring again with the same (already applied) failure set
+	// must also succeed.
+	if _, err := Reconfigure(net, DefaultOptions(), failed); err != nil {
+		t.Fatalf("re-reconfigure of a known failure rejected: %v", err)
+	}
+}
+
+func TestStagedDuplicateFailedLinks(t *testing.T) {
+	net := buildNet(t, 16, 4, 1, 1, true)
+	if _, err := Configure(net, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	failed := net.Topo.Links[0]
+	if _, err := ReconfigureStaged(net, DefaultOptions(), DefaultStagedOptions(), failed, failed); err != nil {
+		t.Fatalf("duplicate failed links rejected: %v", err)
+	}
+	net.Engine.RunUntilIdle()
+}
+
+func TestReconfigureRejectsMROverRange(t *testing.T) {
+	net := buildNet(t, 8, 4, 1, 1, true) // LMC 1 → LID range size 2
+	if _, err := Configure(net, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.MaxRoutingOptions = net.Plan.RangeSize() + 1
+	_, err := Reconfigure(net, opts, net.Topo.Links[0])
+	if err == nil {
+		t.Fatal("MR over LID range accepted")
+	}
+	if !strings.Contains(err.Error(), "exceeds LID range size") {
+		t.Fatalf("error = %v", err)
+	}
+}

@@ -27,4 +27,7 @@ go test -run 'TestEventQueueDifferential|TestEngineSchedulersEquivalent' -v ./in
 echo "==> event-queue fuzz smoke"
 go test -run '^$' -fuzz 'FuzzEventQueueOrdering' -fuzztime 10s ./internal/sim/
 
+echo "==> fault-campaign smoke (seeded flaps, staged recovery, watchdog)"
+go test -race -run 'TestCampaignSmokeCI' -v ./internal/faults/
+
 echo "CI OK"
