@@ -7,6 +7,7 @@ package ibasim
 // printed by cmd/ibbench and recorded in EXPERIMENTS.md).
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -42,6 +43,38 @@ func BenchmarkFigure3(b *testing.B) {
 		if err := res.Write(io.Discard); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFigure3Shards regenerates the Figure 3 panel on a
+// 64-switch fabric under each engine: the sequential baseline, then
+// the conservative-parallel engine at 2/4/8 shards. Results are
+// bit-identical across sub-benchmarks (the shard differential suite
+// enforces it); only wall-clock time may differ. scripts/bench.sh
+// parses this sweep into BENCH_shard.{txt,json} with speedup and
+// parallel-efficiency columns — on a single-core host the sharded
+// engine takes its inline path and the sweep measures pure
+// coordination overhead instead of speedup.
+func BenchmarkFigure3Shards(b *testing.B) {
+	for _, shards := range []int{0, 2, 4, 8} {
+		name := "seq"
+		if shards > 0 {
+			name = fmt.Sprintf("shards=%d", shards)
+		}
+		b.Run(name, func(b *testing.B) {
+			sc := benchScale()
+			sc.Shards = shards
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.Figure3(sc, 64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := res.Write(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -80,6 +80,9 @@ func main() {
 	pktSizes := flag.String("bytes", "", "override: packet sizes, e.g. 32,256")
 	patterns := flag.String("patterns", "", "table1 patterns: uniform,bit-reversal,hot-spot:0.1,...")
 	sched := flag.String("sched", "calendar", "event scheduler: calendar (O(1) wheel) or heap (binary-heap reference); results are bit-identical")
+	engine := flag.String("engine", "seq", "execution engine: seq (single event loop) or shard (conservative-parallel; bit-identical results)")
+	shards := flag.Int("shards", 0, "shard count for -engine shard (default 2; clamped to the switch count)")
+	partition := flag.String("partition", "", "shard partitioner: bfs (locality, default) or roundrobin")
 	faultSpec := flag.String("faults", "rand:4:15000@50000-150000; autoreconfig:10000", "faults: campaign spec string or @file.json")
 	faultSeed := flag.Uint64("fault-seed", 1, "faults: seed for the campaign's randomized elements")
 	pcfg := prof.Flags()
@@ -143,6 +146,20 @@ func main() {
 		fail(err)
 	}
 	sc.EngineOpts = []sim.EngineOption{sim.WithScheduler(kind)}
+	switch *engine {
+	case "", "seq":
+		if *shards > 1 {
+			fail(fmt.Errorf("-shards %d requires -engine shard", *shards))
+		}
+	case "shard":
+		sc.Shards = *shards
+		if sc.Shards == 0 {
+			sc.Shards = 2
+		}
+		sc.Partition = *partition
+	default:
+		fail(fmt.Errorf("unknown engine %q (want seq or shard)", *engine))
+	}
 	pats := []experiments.PatternSpec{{Kind: "uniform"}}
 	if *scaleName == "full" {
 		pats = experiments.Table1Patterns

@@ -41,6 +41,9 @@ func main() {
 	flag.Int64Var(&cfg.MeasureNs, "measure", cfg.MeasureNs, "measurement window, ns")
 	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "traffic/selection seed")
 	flag.StringVar(&cfg.Scheduler, "sched", "calendar", "event scheduler: calendar (O(1) wheel) or heap (binary-heap reference); results are bit-identical")
+	flag.StringVar(&cfg.Engine, "engine", "seq", "execution engine: seq (single event loop) or shard (conservative-parallel; bit-identical results)")
+	flag.IntVar(&cfg.Shards, "shards", 0, "shard count for -engine shard (default 2; clamped to the switch count)")
+	flag.StringVar(&cfg.Partition, "partition", "", "shard partitioner: bfs (locality, default) or roundrobin")
 	flag.StringVar(&cfg.Faults, "faults", "", "fault campaign: spec string (e.g. 'flap@60000:0-1:20000; autoreconfig:10000') or @file.json")
 	flag.Uint64Var(&cfg.FaultSeed, "fault-seed", 0, "seed for the campaign's randomized elements (rand: flaps)")
 	traceN := flag.Int("packet-trace", 0, "record and print the last N packet lifecycle events")

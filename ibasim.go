@@ -78,6 +78,18 @@ type Config struct {
 	// way.
 	Scheduler string
 
+	// Engine selects the execution engine: "seq" (the default single
+	// event loop) or "shard", the conservative-parallel engine that
+	// partitions the fabric into Shards shards advancing in windowed
+	// lockstep on worker goroutines. Results are bit-exact across
+	// engines and shard counts; only wall-clock time changes. Shards
+	// defaults to 2 when Engine is "shard"; Partition selects the
+	// switch partitioner ("bfs", the locality-preserving default, or
+	// "roundrobin").
+	Engine    string
+	Shards    int
+	Partition string
+
 	// Ablation knobs (§4.3 and §4.4 design axes). Zero values give
 	// the paper's evaluation setup.
 
@@ -259,6 +271,21 @@ func (c Config) spec() (experiments.RunSpec, error) {
 		}
 		spec.Fabric.EngineOpts = append(spec.Fabric.EngineOpts, sim.WithScheduler(kind))
 	}
+	switch c.Engine {
+	case "", "seq":
+		if c.Shards > 1 {
+			return experiments.RunSpec{}, fmt.Errorf("ibasim: shards=%d requires engine \"shard\"", c.Shards)
+		}
+	case "shard":
+		shards := c.Shards
+		if shards == 0 {
+			shards = 2
+		}
+		spec.Fabric.Shards = shards
+		spec.Fabric.Partition = c.Partition
+	default:
+		return experiments.RunSpec{}, fmt.Errorf("ibasim: unknown engine %q (want seq or shard)", c.Engine)
+	}
 	if c.Faults != "" {
 		camp, err := faults.Load(c.Faults)
 		if err != nil {
@@ -324,6 +351,12 @@ func SimulateTraced(c Config, capacity int, w io.Writer) (TraceResult, error) {
 	spec, err := c.spec()
 	if err != nil {
 		return TraceResult{}, err
+	}
+	if spec.Fabric.Shards > 1 {
+		// The tracer hangs off the Network-level hooks, which sharded
+		// runs leave to the per-shard observer chain; attaching it there
+		// would race with the shard workers.
+		return TraceResult{}, fmt.Errorf("ibasim: packet tracing requires the sequential engine")
 	}
 	rec := trace.NewRecorder(capacity)
 	res, err := experiments.RunObserved(spec, rec.Attach)

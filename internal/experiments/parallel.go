@@ -3,13 +3,21 @@ package experiments
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // runParallel executes n independent jobs on a bounded worker pool and
 // returns their results in job order. Each simulation owns its engine
 // and RNG streams, so concurrent runs stay bit-identical to sequential
-// ones; only wall-clock time changes. The first error wins and is
-// returned after all workers stop.
+// ones; only wall-clock time changes.
+//
+// A job failure aborts the run early: jobs not yet handed to a worker
+// are skipped (a fault-campaign sweep whose first point trips the
+// watchdog should not grind through the remaining points first). Jobs
+// already running finish, and the error returned is the
+// lowest-indexed one recorded — the same error a sequential loop
+// would have surfaced, regardless of which job failed first on the
+// wall clock.
 func runParallel[T any](n int, job func(i int) (T, error)) ([]T, error) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -30,6 +38,7 @@ func runParallel[T any](n int, job func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
 	next := make(chan int)
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -37,10 +46,16 @@ func runParallel[T any](n int, job func(i int) (T, error)) ([]T, error) {
 			defer wg.Done()
 			for i := range next {
 				out[i], errs[i] = job(i)
+				if errs[i] != nil {
+					failed.Store(true)
+				}
 			}
 		}()
 	}
 	for i := 0; i < n; i++ {
+		if failed.Load() {
+			break
+		}
 		next <- i
 	}
 	close(next)

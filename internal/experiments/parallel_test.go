@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"errors"
+	"sync/atomic"
 	"testing"
 
 	"ibasim/internal/topology"
@@ -30,6 +31,49 @@ func TestRunParallelPropagatesError(t *testing.T) {
 	})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRunParallelAbortsEarly: after a failure, jobs not yet started
+// must be skipped (GOMAXPROCS may be 1 in CI, where the sequential
+// path aborts trivially; with workers the feeder stops on the flag).
+func TestRunParallelAbortsEarly(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	_, err := runParallel(10_000, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// The feeder re-checks the failure flag before every handoff, so at
+	// most the jobs already in flight when job 0 failed can still run —
+	// far fewer than the full batch.
+	if n := ran.Load(); n > 1_000 {
+		t.Fatalf("%d of 10000 jobs ran after early failure", n)
+	}
+}
+
+// TestRunParallelReturnsLowestIndexError: the error surfaced must be
+// the lowest-indexed one, matching what a sequential loop would have
+// returned, regardless of wall-clock completion order.
+func TestRunParallelReturnsLowestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	// Both failing jobs are dispatched before either can fail (indices
+	// 0 and 1 are fed immediately to the first two workers when
+	// GOMAXPROCS >= 2; sequentially index 0 fails first anyway).
+	_, err := runParallel(2, func(i int) (int, error) {
+		if i == 0 {
+			return 0, errA
+		}
+		return 0, errB
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want lowest-index error %v", err, errA)
 	}
 }
 

@@ -167,6 +167,7 @@ func RunObserved(spec RunSpec, observe func(*fabric.Network)) (RunResult, error)
 	if err := runEngine(net, gen, end, end+spec.DrainGrace); err != nil {
 		return RunResult{}, err
 	}
+	col.Finalize()
 	res := RunResult{
 		OfferedPerSwitch:   spec.Traffic.OfferedPerSwitch(spec.Topo.HostsPerSwitch),
 		AcceptedPerSwitch:  col.AcceptedPerSwitch(),
@@ -179,7 +180,8 @@ func RunObserved(spec RunSpec, observe func(*fabric.Network)) (RunResult, error)
 	}
 	if inj != nil {
 		dog.Stop()
-		fs := net.Faults
+		inj.Finalize()
+		fs := net.FaultTotals()
 		res.Degraded = DegradedStats{
 			FaultsInjected:    inj.FaultsInjected,
 			Repairs:           inj.Repairs,
@@ -201,9 +203,10 @@ func RunObserved(spec RunSpec, observe func(*fabric.Network)) (RunResult, error)
 			return res, err
 		}
 	}
-	// Hand the drained queue storage back to the sweep's arena (no-op
-	// unless the spec carried sim.WithArena).
-	net.Engine.Recycle()
+	// Hand the drained queue storage back to the sweep's arena — every
+	// engine's, shard queues included (no-op unless the spec carried
+	// sim.WithArena).
+	net.Recycle()
 	return res, nil
 }
 
@@ -221,7 +224,7 @@ func runEngine(net *fabric.Network, gen *traffic.Generator, genEnd, horizon sim.
 		}
 	}()
 	gen.Start(genEnd)
-	net.Engine.Run(horizon)
+	net.Run(horizon)
 	return nil
 }
 
@@ -309,6 +312,13 @@ type Scale struct {
 	// hook for scheduler selection (sim.WithScheduler) and geometry
 	// overrides. Empty means the engine defaults (calendar queue).
 	EngineOpts []sim.EngineOption
+
+	// Shards > 1 runs every simulation on the conservative-parallel
+	// sharded engine (bit-exact with the sequential default);
+	// Partition selects the switch partitioner (fabric.PartitionBFS
+	// when empty).
+	Shards    int
+	Partition string
 }
 
 // QuickScale is sized for smoke tests and benchmarks.
@@ -370,6 +380,8 @@ func (sc Scale) Spec(topo *topology.Topology, mr, pktSize int, adaptiveFrac floa
 	fcfg := fabric.DefaultConfig()
 	fcfg.AdaptiveSwitches = enhanced
 	fcfg.EngineOpts = sc.EngineOpts
+	fcfg.Shards = sc.Shards
+	fcfg.Partition = sc.Partition
 	return RunSpec{
 		Topo:    topo,
 		LMC:     lmcFor(mr),

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"ibasim/internal/fabric"
+	"ibasim/internal/faults"
+	"ibasim/internal/sim"
+	"ibasim/internal/topology"
+	"ibasim/internal/traffic"
+)
+
+// The sharded engine's whole value rests on one claim: for any shard
+// count, partitioner and queue geometry, a run produces byte-identical
+// results to the sequential engine. These tests are the claim's
+// enforcement. They run full simulations (warmup + measured window +
+// drain) on an irregular topology and compare complete RunResults —
+// floats included, which only works because every merged quantity is
+// either an integer counter over disjoint per-shard event sets or an
+// exactly-representable float64 sum.
+
+func shardDiffTopo(t testing.TB) *topology.Topology {
+	t.Helper()
+	topo, err := topology.GenerateIrregular(topology.IrregularSpec{
+		NumSwitches: 8, HostsPerSwitch: 4, InterSwitch: 4, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func shardDiffSpec(topo *topology.Topology, opts ...sim.EngineOption) RunSpec {
+	cfg := fabric.DefaultConfig()
+	cfg.EngineOpts = opts
+	return RunSpec{
+		Topo:    topo,
+		LMC:     1,
+		MR:      2,
+		Fabric:  cfg,
+		Traffic: traffic.Config{Pattern: traffic.Uniform{NumHosts: topo.NumHosts()}, PacketSize: 32, AdaptiveFraction: 0.75, LoadBytesPerNsPerHost: 0.03, Seed: 11},
+		Warmup:  20_000, Measure: 100_000, DrainGrace: 30_000,
+		Seed: 11,
+	}
+}
+
+func runShardVariant(t *testing.T, spec RunSpec, shards int, partition string) RunResult {
+	t.Helper()
+	s := spec
+	s.Fabric.Shards = shards
+	s.Fabric.Partition = partition
+	res, err := Run(s)
+	if err != nil {
+		t.Fatalf("shards=%d partition=%q: %v", shards, partition, err)
+	}
+	return res
+}
+
+// TestShardEngineBitExact sweeps shard counts and both partitioners
+// across the calendar geometries the scheduler differential uses (tiny
+// wheels wrap and overflow constantly, so window boundaries land in
+// every structural regime), comparing complete RunResults against the
+// sequential engine.
+func TestShardEngineBitExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many full simulations")
+	}
+	topo := shardDiffTopo(t)
+	geometries := []struct{ slotBits, widthBits uint }{
+		{3, 0}, {3, 2}, {4, 1}, {6, 3}, {12, 2},
+	}
+	for _, g := range geometries {
+		spec := shardDiffSpec(topo, sim.WithWheelGeometry(g.slotBits, g.widthBits))
+		want := runShardVariant(t, spec, 0, "")
+		for _, shards := range []int{1, 2, 4, 7} {
+			for _, partition := range []string{fabric.PartitionBFS, fabric.PartitionRoundRobin} {
+				got := runShardVariant(t, spec, shards, partition)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("geometry %d/%d shards=%d partition=%s diverged:\n got %+v\nwant %+v",
+						g.slotBits, g.widthBits, shards, partition, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestShardEngineBitExactHeap repeats the check on the heap scheduler:
+// the shard coordinator must be scheduler-agnostic.
+func TestShardEngineBitExactHeap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations")
+	}
+	spec := shardDiffSpec(shardDiffTopo(t), sim.WithScheduler(sim.SchedulerHeap))
+	want := runShardVariant(t, spec, 0, "")
+	for _, shards := range []int{2, 7} {
+		got := runShardVariant(t, spec, shards, fabric.PartitionBFS)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("heap shards=%d diverged:\n got %+v\nwant %+v", shards, got, want)
+		}
+	}
+}
+
+// TestShardEngineBitExactFaults runs a full fault campaign — link
+// flaps, a whole-switch failure, staged SM recoveries, retries, the
+// invariant watchdog — under every shard count. Degraded-mode
+// observables (drop/retry counters, recovery latency, watchdog
+// samples) must match the sequential run exactly too.
+func TestShardEngineBitExactFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full fault campaigns")
+	}
+	topo := shardDiffTopo(t)
+	l0, l1 := topo.Links[0], topo.Links[1]
+	camp := &faults.Campaign{
+		Events: []faults.Event{
+			{At: 40_000, Kind: faults.LinkDown, A: l0.A, B: l0.B},
+			{At: 70_000, Kind: faults.LinkUp, A: l0.A, B: l0.B},
+			// Whole-switch deaths disconnect the dead switch's hosts, so
+			// staged recovery would (correctly) refuse the topology; the
+			// campaign sticks to link faults, which still exercise drops,
+			// retries and cross-shard requeues.
+			{At: 80_000, Kind: faults.LinkDown, A: l1.A, B: l1.B},
+			{At: 130_000, Kind: faults.LinkUp, A: l1.A, B: l1.B},
+		},
+		AutoReconfig: 5_000,
+		Watchdog:     faults.WatchdogConfig{SampleEvery: 5_000, Horizon: 120_000},
+	}
+	spec := shardDiffSpec(topo)
+	spec.Measure = 150_000
+	spec.DrainGrace = 80_000
+	spec.Faults = camp
+	spec.FaultSeed = 3
+	want := runShardVariant(t, spec, 0, "")
+	if want.Degraded.FaultsInjected == 0 || want.Degraded.Reconfigs == 0 {
+		t.Fatalf("campaign did not exercise faults: %+v", want.Degraded)
+	}
+	for _, shards := range []int{1, 2, 4, 7} {
+		got := runShardVariant(t, spec, shards, fabric.PartitionBFS)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("faults shards=%d diverged:\n got %+v\nwant %+v", shards, got, want)
+		}
+	}
+}
+
+// TestShardModeValidation pins the configuration gate: forwarding
+// paths that draw the shared network RNG cannot shard.
+func TestShardModeValidation(t *testing.T) {
+	cfg := fabric.DefaultConfig()
+	cfg.Shards = 4
+	cfg.Selection.StatusAware = false
+	if err := cfg.Validate(); err == nil {
+		t.Error("static selection + shards validated")
+	}
+	cfg = fabric.DefaultConfig()
+	cfg.Shards = 4
+	cfg.Partition = "metis"
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown partitioner validated")
+	}
+	cfg = fabric.DefaultConfig()
+	cfg.Shards = 4
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("default adaptive config + shards rejected: %v", err)
+	}
+}

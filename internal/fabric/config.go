@@ -70,8 +70,22 @@ type Config struct {
 	// (implementation, wheel geometry, storage arena). NewNetwork
 	// prepends a span hint derived from the link timing so the default
 	// calendar geometry covers the per-hop event horizon; options set
-	// here are applied afterwards and win.
+	// here are applied afterwards and win. Sharded networks build every
+	// shard engine with the same resolved options (arena included).
 	EngineOpts []sim.EngineOption
+
+	// Shards selects the conservative-parallel execution mode: 0 or 1
+	// runs the classic sequential engine; >= 2 partitions switches and
+	// hosts into that many shards (clamped to the switch count), each
+	// with its own event queue, advanced in lockstep lookahead windows
+	// (see shard.go). Results are bit-identical to the sequential
+	// engine. Requires status-aware selection and no source multipath —
+	// the RNG-free forwarding paths.
+	Shards int
+
+	// Partition picks the switch partitioner for sharded mode:
+	// PartitionBFS (default, "" means BFS) or PartitionRoundRobin.
+	Partition string
 
 	// RoutingDelay, PropagationDelay and link rate come from
 	// internal/ib's constants; they are fixed by the paper's model.
@@ -164,6 +178,17 @@ func (c Config) Validate() error {
 	}
 	if c.SourceMultipath > 1 && c.AdaptiveSwitches {
 		return fmt.Errorf("fabric: source multipath is a plain-switch baseline; disable AdaptiveSwitches")
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("fabric: negative shard count %d", c.Shards)
+	}
+	switch c.Partition {
+	case "", PartitionBFS, PartitionRoundRobin:
+	default:
+		return fmt.Errorf("fabric: unknown partition strategy %q", c.Partition)
+	}
+	if err := validateShardMode(c); err != nil {
+		return err
 	}
 	return nil
 }

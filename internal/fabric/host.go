@@ -14,11 +14,20 @@ import (
 // delay rather than drops.
 type Host struct {
 	net *Network
+	ctx *execCtx // execution context (shard) owning this host
 	id  int
 
 	out *outPort // link toward the attached switch
 
+	// queue[qhead:] is the live source queue. Popping advances qhead
+	// instead of re-slicing so the backing array survives the
+	// empty↔shallow oscillation of an unsaturated host (re-slicing
+	// walks the base pointer forward and forces append to reallocate
+	// roughly once per packet); pushes compact the consumed prefix
+	// away once it dominates, keeping the array bounded by the peak
+	// standing depth.
 	queue      []*ib.Packet
+	qhead      int
 	injPending bool
 
 	// kickFn and injectFn are the host's recurring event closures,
@@ -47,16 +56,48 @@ type Host struct {
 // ID returns the host's global index.
 func (h *Host) ID() int { return h.id }
 
+// Engine returns the simulation engine this host's events run on: the
+// network's engine sequentially, the owning shard's engine in sharded
+// mode. Traffic generators schedule injection events on it.
+func (h *Host) Engine() *sim.Engine { return h.ctx.eng }
+
 // QueueLen returns the number of packets waiting in the source queue.
-func (h *Host) QueueLen() int { return len(h.queue) }
+func (h *Host) QueueLen() int { return len(h.queue) - h.qhead }
 
 // HeadID returns the ID of the packet at the source-queue head, or 0
 // when the queue is empty (watchdog progress probe).
 func (h *Host) HeadID() uint64 {
-	if len(h.queue) == 0 {
+	if h.QueueLen() == 0 {
 		return 0
 	}
-	return h.queue[0].ID
+	return h.queue[h.qhead].ID
+}
+
+// qPush appends to the source queue, compacting the consumed prefix
+// first when it has grown past half the backing array.
+func (h *Host) qPush(pkt *ib.Packet) {
+	if h.qhead > 32 && h.qhead*2 >= len(h.queue) {
+		n := copy(h.queue, h.queue[h.qhead:])
+		for i := n; i < len(h.queue); i++ {
+			h.queue[i] = nil
+		}
+		h.queue = h.queue[:n]
+		h.qhead = 0
+	}
+	h.queue = append(h.queue, pkt)
+}
+
+// qPop removes and returns the queue head; the caller must have
+// checked QueueLen() > 0.
+func (h *Host) qPop() *ib.Packet {
+	pkt := h.queue[h.qhead]
+	h.queue[h.qhead] = nil // release the reference for GC
+	h.qhead++
+	if h.qhead == len(h.queue) {
+		h.queue = h.queue[:0]
+		h.qhead = 0
+	}
+	return pkt
 }
 
 // Inject hands a generated packet to the CA. The packet's Src must be
@@ -69,9 +110,11 @@ func (h *Host) Inject(pkt *ib.Packet) {
 	}
 	pkt.SeqNo = h.nextSeq[pkt.Dst]
 	h.nextSeq[pkt.Dst]++
-	pkt.QueuedAt = h.net.Engine.Now()
-	h.queue = append(h.queue, pkt)
-	if h.net.OnCreated != nil {
+	pkt.QueuedAt = h.ctx.eng.Now()
+	h.qPush(pkt)
+	if h.ctx.onCreated != nil {
+		h.ctx.onCreated(pkt)
+	} else if h.net.OnCreated != nil {
 		h.net.OnCreated(pkt)
 	}
 	h.armSendTimeout()
@@ -82,8 +125,8 @@ func (h *Host) Inject(pkt *ib.Packet) {
 // retry): it keeps its identity and SeqNo but restarts its journey.
 func (h *Host) requeue(pkt *ib.Packet) {
 	pkt.Hops = 0
-	pkt.QueuedAt = h.net.Engine.Now()
-	h.queue = append(h.queue, pkt)
+	pkt.QueuedAt = h.ctx.eng.Now()
+	h.qPush(pkt)
 	h.armSendTimeout()
 	h.kick()
 }
@@ -94,7 +137,7 @@ func (h *Host) kick() {
 		return
 	}
 	h.injPending = true
-	h.net.Engine.Schedule(0, h.injectFn)
+	h.ctx.eng.Schedule(0, h.injectFn)
 }
 
 // finishWiring binds the host's recurring event closures once the
@@ -117,20 +160,20 @@ func (h *Host) finishWiring() {
 // already covers an earlier-or-equal deadline.
 func (h *Host) armSendTimeout() {
 	to := h.net.Cfg.Retry.SendTimeout
-	if to <= 0 || len(h.queue) == 0 {
+	if to <= 0 || h.QueueLen() == 0 {
 		return
 	}
-	deadline := h.queue[0].QueuedAt + to
+	deadline := h.queue[h.qhead].QueuedAt + to
 	if h.timeoutArmed != 0 && h.timeoutArmed <= deadline {
 		return
 	}
 	h.timeoutArmed = deadline
-	now := h.net.Engine.Now()
+	now := h.ctx.eng.Now()
 	delay := deadline - now
 	if delay < 0 {
 		delay = 0
 	}
-	h.net.Engine.Schedule(delay, h.timeoutFn)
+	h.ctx.eng.Schedule(delay, h.timeoutFn)
 }
 
 // expireHead drops every queue-head packet whose send deadline has
@@ -140,20 +183,18 @@ func (h *Host) expireHead() {
 	if to <= 0 {
 		return
 	}
-	now := h.net.Engine.Now()
-	for len(h.queue) > 0 && now-h.queue[0].QueuedAt >= to {
-		pkt := h.queue[0]
-		h.queue = h.queue[1:]
-		h.net.dropPacket(pkt, DropTimeout)
+	now := h.ctx.eng.Now()
+	for h.QueueLen() > 0 && now-h.queue[h.qhead].QueuedAt >= to {
+		h.ctx.dropPacket(h.qPop(), DropTimeout)
 	}
 }
 
 // tryInject starts transmitting queued packets while the link is free
 // and the switch's input buffer has room for the whole packet.
 func (h *Host) tryInject() {
-	now := h.net.Engine.Now()
-	for len(h.queue) > 0 {
-		pkt := h.queue[0]
+	now := h.ctx.eng.Now()
+	for h.QueueLen() > 0 {
+		pkt := h.queue[h.qhead]
 		if !h.out.free(now) {
 			return
 		}
@@ -161,7 +202,7 @@ func (h *Host) tryInject() {
 		if !h.net.Cfg.Split.CanUseEscape(h.out.credits[vl], pkt.Credits()) {
 			return
 		}
-		h.queue = h.queue[1:]
+		h.qPop()
 		h.out.credits[vl] -= pkt.Credits()
 		ser := ib.SerializationTime(pkt.Size)
 		h.out.busyUntil = now + ser
@@ -169,10 +210,10 @@ func (h *Host) tryInject() {
 		h.out.txPackets++
 		pkt.InjectedAt = now
 		h.Injected++
-		h.net.moved++
+		h.ctx.moved++
 
-		h.net.scheduleReceive(ib.PropagationDelay, h.out.peerSwitch, h.out.peerPort, vl, pkt)
-		h.net.Engine.Schedule(ser, h.kickFn)
+		h.ctx.scheduleReceive(ib.PropagationDelay, h.out.peerSwitch, h.out.peerPort, vl, pkt)
+		h.ctx.eng.Schedule(ser, h.kickFn)
 		return // the link is now busy; the ser-kick continues the queue
 	}
 }
@@ -182,10 +223,12 @@ func (h *Host) deliver(pkt *ib.Packet) {
 	if pkt.Dst != h.id {
 		panic(fmt.Sprintf("fabric: packet %v delivered to host %d", pkt, h.id))
 	}
-	pkt.DeliveredAt = h.net.Engine.Now()
+	pkt.DeliveredAt = h.ctx.eng.Now()
 	h.Delivered++
-	h.net.moved++
-	if h.net.OnDelivered != nil {
+	h.ctx.moved++
+	if h.ctx.onDelivered != nil {
+		h.ctx.onDelivered(pkt)
+	} else if h.net.OnDelivered != nil {
 		h.net.OnDelivered(pkt)
 	}
 }

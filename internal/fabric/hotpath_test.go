@@ -94,6 +94,27 @@ func TestSwitchHopZeroAllocsDeterministic(t *testing.T) {
 	}
 }
 
+// TestInjectZeroAllocsSteadyState extends the gate to the injection
+// path: creating a packet, queueing it at the source CA and running it
+// through to delivery. Packet storage comes from the context's slab
+// (one allocation per pktSlabSize packets) and the source queue reuses
+// its backing array, so the amortized per-packet figure must be the
+// slab refill alone — well under 0.01 objects.
+func TestInjectZeroAllocsSteadyState(t *testing.T) {
+	net := hotpathNet(t)
+	h := net.Hosts[0]
+	inject := func() {
+		h.Inject(net.NewPacket(0, 7, 32, true))
+		net.Engine.RunUntilIdle()
+	}
+	for i := 0; i < 600; i++ { // warm pools and span a slab boundary
+		inject()
+	}
+	if allocs := testing.AllocsPerRun(2*pktSlabSize, inject); allocs > 2.5/pktSlabSize {
+		t.Fatalf("steady-state injection allocates %v objects per packet, want at most the amortized slab refill (%v)", allocs, 2.5/pktSlabSize)
+	}
+}
+
 // BenchmarkSwitchHop measures one full two-switch traversal (receive
 // at the ingress switch through delivery at the destination CA) at
 // steady state.

@@ -22,13 +22,17 @@ type Network struct {
 	Switches []*Switch
 	Hosts    []*Host
 
-	rng    *sim.RNG
-	nextID uint64
+	rng *sim.RNG
 
-	// Hot-path freelists (see pool.go). Single-threaded per network:
-	// the engine dispatches sequentially and nothing else touches them.
-	evFree    []*fabricEvent
-	entryFree []*bufEntry
+	// ctl is the control (and, when Cfg.Shards <= 1, the only)
+	// execution context; its engine is the exported Engine. shards,
+	// partition, lookahead and mailScratch exist only in sharded mode
+	// (see shard.go).
+	ctl         *execCtx
+	shards      []*execCtx
+	partition   []int
+	lookahead   sim.Time
+	mailScratch []mail
 
 	// OnCreated fires when a packet enters a source queue; OnDelivered
 	// when it reaches its destination CA; OnHop when a switch starts
@@ -46,14 +50,10 @@ type Network struct {
 	// per drop, not once per loss.
 	OnDropped func(p *ib.Packet, reason DropReason)
 
-	// Faults accumulates the degraded-mode counters. All zero on a
-	// fault-free run.
+	// Faults accumulates the degraded-mode counters of the sequential
+	// and control contexts. All zero on a fault-free run. Sharded runs
+	// keep per-shard counters too; FaultTotals sums everything.
 	Faults FaultStats
-
-	// moved counts packet movements (injections, hops, deliveries,
-	// drops); the forward-progress watchdog reads it to distinguish a
-	// busy fabric from a wedged one.
-	moved uint64
 }
 
 // DropReason classifies why the fabric discarded a packet.
@@ -106,34 +106,41 @@ func (f FaultStats) Dropped() uint64 {
 
 // Moved returns the total number of packet movements (injections,
 // hops, deliveries, drops) so far — a monotone progress clock for
-// deadlock detection.
-func (n *Network) Moved() uint64 { return n.moved }
+// deadlock detection. Sums every execution context.
+func (n *Network) Moved() uint64 {
+	m := n.ctl.moved
+	for _, s := range n.shards {
+		m += s.moved
+	}
+	return m
+}
 
 // dropPacket accounts one discarded packet and, when the retry policy
 // allows, schedules its re-injection at the source with exponential
 // backoff.
-func (n *Network) dropPacket(pkt *ib.Packet, reason DropReason) {
+func (c *execCtx) dropPacket(pkt *ib.Packet, reason DropReason) {
 	switch reason {
 	case DropUnroutable:
-		n.Faults.DroppedUnroutable++
+		c.faults.DroppedUnroutable++
 	case DropDeadPort:
-		n.Faults.DroppedOnDeadPort++
+		c.faults.DroppedOnDeadPort++
 	case DropTimeout:
-		n.Faults.DroppedTimeout++
+		c.faults.DroppedTimeout++
 	}
-	n.moved++
-	if n.OnDropped != nil {
-		n.OnDropped(pkt, reason)
+	c.moved++
+	if c.onDropped != nil {
+		c.onDropped(pkt, reason)
+	} else if c.net.OnDropped != nil {
+		c.net.OnDropped(pkt, reason)
 	}
-	rp := n.Cfg.Retry
+	rp := c.net.Cfg.Retry
 	if rp.MaxRetries > 0 && pkt.Attempts < rp.MaxRetries {
 		pkt.Attempts++
-		n.Faults.Retries++
-		h := n.Hosts[pkt.Src]
-		n.Engine.Schedule(rp.backoff(pkt.Attempts), func() { h.requeue(pkt) })
+		c.faults.Retries++
+		c.scheduleRequeue(rp.backoff(pkt.Attempts), c.net.Hosts[pkt.Src], pkt)
 		return
 	}
-	n.Faults.Lost++
+	c.faults.Lost++
 }
 
 // NewNetwork wires a subnet over the topology. The LMC is chosen by
@@ -166,6 +173,7 @@ func NewNetwork(topo *topology.Topology, plan *ib.AddressPlan, cfg Config, seed 
 		Cfg:    cfg,
 		rng:    sim.NewRNG(seed ^ 0x4641425249435F), // package tag
 	}
+	net.ctl = &execCtx{net: net, id: -1, eng: net.Engine, faults: &net.Faults}
 
 	detOnly := make(map[int]bool, len(cfg.DeterministicOnly))
 	for _, s := range cfg.DeterministicOnly {
@@ -186,6 +194,7 @@ func NewNetwork(topo *topology.Topology, plan *ib.AddressPlan, cfg Config, seed 
 		}
 		net.Switches = append(net.Switches, &Switch{
 			net:      net,
+			ctx:      net.ctl,
 			id:       s,
 			enhanced: cfg.AdaptiveSwitches && !detOnly[s],
 			table:    table,
@@ -195,7 +204,7 @@ func NewNetwork(topo *topology.Topology, plan *ib.AddressPlan, cfg Config, seed 
 		})
 	}
 	for h := 0; h < topo.NumHosts(); h++ {
-		net.Hosts = append(net.Hosts, &Host{net: net, id: h, nextSeq: map[int]uint64{}})
+		net.Hosts = append(net.Hosts, &Host{net: net, ctx: net.ctl, id: h, nextSeq: make(map[int]uint64, topo.NumHosts())})
 	}
 
 	// Wire host links: host h occupies port (h mod HostsPerSwitch) of
@@ -248,6 +257,22 @@ func NewNetwork(topo *topology.Topology, plan *ib.AddressPlan, cfg Config, seed 
 		a, b := net.Switches[l.A], net.Switches[l.B]
 		net.wire(a, pa, b, pb)
 		net.wire(b, pb, a, pa)
+	}
+	// Partition into shards (no-op for Cfg.Shards <= 1), then stamp
+	// every output port with its owner's execution context so credit
+	// returns route to the right engine.
+	if err := net.buildShards(engineOpts); err != nil {
+		return nil, err
+	}
+	for _, sw := range net.Switches {
+		for _, o := range sw.out {
+			if o != nil {
+				o.ctx = sw.ctx
+			}
+		}
+	}
+	for _, h := range net.Hosts {
+		h.out.ctx = h.ctx
 	}
 	// Wiring is final: freeze the per-node hot-path state (cached
 	// service points, bound event closures).
@@ -303,22 +328,33 @@ func (n *Network) newVLBuffers(enhanced bool) []*vlBuffer {
 // of the alternative deterministic paths uniformly at random — the
 // source-node path selection of the paper's introduction.
 func (n *Network) NewPacket(src, dst, size int, adaptive bool) *ib.Packet {
-	n.nextID++
+	// Packet creation runs on the source host's context (the traffic
+	// generator schedules injections on the host's engine). IDs are
+	// strided by shard count so they stay globally unique; with one
+	// context the numbering reduces to the sequential 1, 2, 3, ...
+	c := n.Hosts[src].ctx
+	c.nextID++
+	id := c.nextID
+	if stride := len(n.shards); stride > 1 {
+		id = id*uint64(stride) + uint64(c.id)
+	}
 	dlid := n.Plan.DLIDFor(dst, adaptive)
 	if k := n.Cfg.SourceMultipath; k > 1 {
 		adaptive = false
 		dlid = n.Plan.BaseLID(dst) + ib.LID(n.rng.Intn(k))
 	}
-	return &ib.Packet{
-		ID:        n.nextID,
+	pkt := c.getPacket()
+	*pkt = ib.Packet{
+		ID:        id,
 		Src:       src,
 		Dst:       dst,
 		SLID:      n.Plan.BaseLID(src),
 		DLID:      dlid,
 		Size:      size,
 		Adaptive:  adaptive && n.Plan.LMC > 0,
-		CreatedAt: n.Engine.Now(),
+		CreatedAt: c.eng.Now(),
 	}
+	return pkt
 }
 
 // PortToNeighbor returns switch s's output port wired to the adjacent
@@ -382,11 +418,11 @@ func (n *Network) CreditsIntact() error {
 	return nil
 }
 
-// Drain runs the engine until every event has fired, then verifies
-// nothing is left in any buffer. It is the standard way tests finish
-// a finite workload.
+// Drain runs the simulation until every event has fired, then
+// verifies nothing is left in any buffer. It is the standard way tests
+// finish a finite workload.
 func (n *Network) Drain() error {
-	n.Engine.RunUntilIdle()
+	n.Run(sim.Forever)
 	if f := n.InFlight(); f != 0 {
 		return fmt.Errorf("fabric: %d packets stuck after drain (deadlock?)", f)
 	}

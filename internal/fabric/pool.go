@@ -9,28 +9,32 @@ import (
 // events (peer receive, credit return, delivery) and buffers one
 // bufEntry; allocating those on the heap per hop dominated the
 // simulator's allocation profile. Both pools are plain freelists on
-// the Network rather than sync.Pools: each Network owns exactly one
-// single-threaded engine, so no locking is needed, and freelist reuse
+// the execution context rather than sync.Pools: each context's engine
+// dispatches sequentially, so no locking is needed, and freelist reuse
 // is deterministic — it cannot perturb event ordering across runs.
+// When an event crosses a shard boundary its storage migrates with it:
+// ev.ctx is retargeted at dispatch, so the release always happens on
+// the goroutine that owns the freelist it lands in.
 
 // Event kinds dispatched by fabricEvent.Do.
 const (
 	evReceive      uint8 = iota // packet head arrives at a switch input port
 	evDeliver                   // packet tail arrives at the destination CA
 	evCreditReturn              // flow-control update reaches the transmitter
+	evRequeue                   // retry policy re-enters a dropped packet at its source
 )
 
 // fabricEvent is a pooled sim.Action carrying the payload of one
-// hot-path event. The same struct type serves all three kinds; unused
-// fields stay nil/zero. It releases itself back to its network's pool
-// before running the payload, so a hop's event storage is recycled by
-// the very events it schedules.
+// hot-path event. The same struct type serves all kinds; unused fields
+// stay nil/zero. It releases itself back to its context's pool before
+// running the payload, so a hop's event storage is recycled by the
+// very events it schedules.
 type fabricEvent struct {
-	net  *Network
+	ctx  *execCtx // context the event executes (and is released) on
 	kind uint8
 
 	sw   *Switch    // evReceive target
-	host *Host      // evDeliver target
+	host *Host      // evDeliver / evRequeue target
 	out  *outPort   // evCreditReturn target
 	port ib.PortID  // evReceive input port
 	vl   int        // input/output VL
@@ -42,8 +46,8 @@ type fabricEvent struct {
 // struct is returned to the pool first, so work scheduled by the
 // payload can reuse it immediately.
 func (ev *fabricEvent) Do() {
-	kind, sw, host, out, port, vl, n, pkt := ev.kind, ev.sw, ev.host, ev.out, ev.port, ev.vl, ev.n, ev.pkt
-	ev.net.putEvent(ev)
+	c, kind, sw, host, out, port, vl, n, pkt := ev.ctx, ev.kind, ev.sw, ev.host, ev.out, ev.port, ev.vl, ev.n, ev.pkt
+	c.putEvent(ev)
 	switch kind {
 	case evReceive:
 		sw.receive(port, vl, pkt)
@@ -51,53 +55,85 @@ func (ev *fabricEvent) Do() {
 		host.deliver(pkt)
 	case evCreditReturn:
 		out.returnCredits(vl, n)
+	case evRequeue:
+		host.requeue(pkt)
 	}
 }
 
-func (n *Network) getEvent() *fabricEvent {
-	if last := len(n.evFree) - 1; last >= 0 {
-		ev := n.evFree[last]
-		n.evFree = n.evFree[:last]
+func (c *execCtx) getEvent() *fabricEvent {
+	if last := len(c.evFree) - 1; last >= 0 {
+		ev := c.evFree[last]
+		c.evFree = c.evFree[:last]
 		return ev
 	}
-	return &fabricEvent{net: n}
+	return &fabricEvent{}
 }
 
-func (n *Network) putEvent(ev *fabricEvent) {
-	*ev = fabricEvent{net: ev.net} // drop packet/port references for GC
-	n.evFree = append(n.evFree, ev)
+func (c *execCtx) putEvent(ev *fabricEvent) {
+	*ev = fabricEvent{} // drop packet/port references for GC
+	c.evFree = append(c.evFree, ev)
 }
 
 // scheduleReceive schedules a packet head arrival at (sw, port, vl)
 // after delay, without allocating once the pool is warm.
-func (n *Network) scheduleReceive(delay sim.Time, sw *Switch, port ib.PortID, vl int, pkt *ib.Packet) {
-	ev := n.getEvent()
+func (c *execCtx) scheduleReceive(delay sim.Time, sw *Switch, port ib.PortID, vl int, pkt *ib.Packet) {
+	ev := c.getEvent()
 	ev.kind, ev.sw, ev.port, ev.vl, ev.pkt = evReceive, sw, port, vl, pkt
-	n.Engine.ScheduleAction(delay, ev)
+	c.dispatch(delay, sw.ctx, ev)
 }
 
 // scheduleDeliver schedules a packet delivery at the destination CA.
-func (n *Network) scheduleDeliver(delay sim.Time, h *Host, pkt *ib.Packet) {
-	ev := n.getEvent()
+func (c *execCtx) scheduleDeliver(delay sim.Time, h *Host, pkt *ib.Packet) {
+	ev := c.getEvent()
 	ev.kind, ev.host, ev.pkt = evDeliver, h, pkt
-	n.Engine.ScheduleAction(delay, ev)
+	c.dispatch(delay, h.ctx, ev)
 }
 
 // scheduleCreditReturn schedules a flow-control update of credits
-// credits on (o, vl).
-func (n *Network) scheduleCreditReturn(delay sim.Time, o *outPort, vl, credits int) {
-	ev := n.getEvent()
+// credits on (o, vl); it executes on the port owner's context.
+func (c *execCtx) scheduleCreditReturn(delay sim.Time, o *outPort, vl, credits int) {
+	ev := c.getEvent()
 	ev.kind, ev.out, ev.vl, ev.n = evCreditReturn, o, vl, credits
-	n.Engine.ScheduleAction(delay, ev)
+	c.dispatch(delay, o.ctx, ev)
+}
+
+// scheduleRequeue schedules the retry re-injection of a dropped packet
+// at its source host.
+func (c *execCtx) scheduleRequeue(delay sim.Time, h *Host, pkt *ib.Packet) {
+	ev := c.getEvent()
+	ev.kind, ev.host, ev.pkt = evRequeue, h, pkt
+	c.dispatch(delay, h.ctx, ev)
+}
+
+// pktSlabSize is how many packets one allocation block holds. Packets
+// are not recycled — observers (reorder buffers, tracers, tests) may
+// hold a delivered packet long after the fabric last touches it, so
+// reuse would need a liveness protocol. Slab allocation keeps every
+// packet valid for the network's lifetime while cutting the allocator
+// to one call per block instead of one per packet; a block is freed as
+// a whole when the run's last reference to it drops.
+const pktSlabSize = 512
+
+// getPacket carves the next packet from the context's slab. Only the
+// context's own goroutine calls this (packet creation runs on the
+// source host's engine), so no locking is needed, and the carve order
+// is deterministic.
+func (c *execCtx) getPacket() *ib.Packet {
+	if len(c.pktSlab) == 0 {
+		c.pktSlab = make([]ib.Packet, pktSlabSize)
+	}
+	pkt := &c.pktSlab[0]
+	c.pktSlab = c.pktSlab[1:]
+	return pkt
 }
 
 // getEntry takes a bufEntry from the pool (or allocates one cold).
 // Callers must set every routing field; the entry arrives zeroed with
 // chosen already at InvalidPort.
-func (n *Network) getEntry() *bufEntry {
-	if last := len(n.entryFree) - 1; last >= 0 {
-		e := n.entryFree[last]
-		n.entryFree = n.entryFree[:last]
+func (c *execCtx) getEntry() *bufEntry {
+	if last := len(c.entryFree) - 1; last >= 0 {
+		e := c.entryFree[last]
+		c.entryFree = c.entryFree[:last]
 		return e
 	}
 	return &bufEntry{chosen: ib.InvalidPort}
@@ -106,7 +142,7 @@ func (n *Network) getEntry() *bufEntry {
 // putEntry recycles a bufEntry after its packet left the buffer. The
 // adaptive slice reference is dropped (it belongs to the forwarding
 // table's block cache, never to the entry).
-func (n *Network) putEntry(e *bufEntry) {
+func (c *execCtx) putEntry(e *bufEntry) {
 	*e = bufEntry{chosen: ib.InvalidPort}
-	n.entryFree = append(n.entryFree, e)
+	c.entryFree = append(c.entryFree, e)
 }

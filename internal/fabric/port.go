@@ -16,6 +16,7 @@ type node interface {
 // per VL (IBA's credit-based flow control is per-VL, §5.1).
 type outPort struct {
 	owner node
+	ctx   *execCtx // the owner's execution context: credit returns run here
 	id    ib.PortID
 
 	// Exactly one of peerSwitch/peerHost is set.

@@ -114,9 +114,9 @@ func (n *Network) SetSwitchDown(s int) error {
 		for vl, buf := range in.vls {
 			for buf.len() > 0 {
 				e := buf.removeAt(0)
-				n.scheduleCreditReturn(ib.PropagationDelay, in.upstream, vl, e.pkt.Credits())
-				n.dropPacket(e.pkt, DropDeadPort)
-				n.putEntry(e)
+				sw.ctx.scheduleCreditReturn(ib.PropagationDelay, in.upstream, vl, e.pkt.Credits())
+				sw.ctx.dropPacket(e.pkt, DropDeadPort)
+				sw.ctx.putEntry(e)
 			}
 		}
 	}
@@ -218,7 +218,7 @@ func (sw *Switch) Reroute() (dropped int) {
 // returning its credits upstream.
 func (sw *Switch) dropBuffered(buf *vlBuffer, i int, in *inPort, vl int) {
 	e := buf.removeAt(i)
-	sw.net.scheduleCreditReturn(ib.PropagationDelay, in.upstream, vl, e.pkt.Credits())
-	sw.net.dropPacket(e.pkt, DropUnroutable)
-	sw.net.putEntry(e)
+	sw.ctx.scheduleCreditReturn(ib.PropagationDelay, in.upstream, vl, e.pkt.Credits())
+	sw.ctx.dropPacket(e.pkt, DropUnroutable)
+	sw.ctx.putEntry(e)
 }

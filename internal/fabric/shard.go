@@ -1,0 +1,601 @@
+package fabric
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+
+	"ibasim/internal/ib"
+	"ibasim/internal/sim"
+)
+
+// Conservative-parallel sharded execution.
+//
+// The fabric's switches and hosts are partitioned into P shards, each
+// owning its own sim.Engine, event/entry freelists and counters. A
+// coordinator advances all shards in lockstep time windows of width
+// lookahead = the minimum delay any cross-shard event can carry
+// (packet arrivals and credit returns cross a link, so at least the
+// propagation delay; host-side retry re-injections can cross with the
+// backoff base). Within a window every event a shard dispatches that
+// targets another shard is deferred into a per-(src,dst) mailbox and
+// merged into the target's queue at the window barrier, sorted by the
+// canonical (at, schedAt, srcShard, pushOrder) key — so each shard's
+// queue receives exactly the same totally ordered event stream a
+// sequential run would have produced, and the simulation is bit-exact
+// regardless of P or worker interleaving. The control engine
+// (Network.Engine) keeps the fault injector, watchdog and staged
+// subnet-manager events; whenever it has an event due, every engine is
+// aligned on that timestamp and the whole timestamp executes
+// single-threaded in merged (at, schedAt) order, which lets control
+// code touch any shard's state safely.
+
+// execCtx is the per-shard execution context. A sequential network has
+// exactly one (the control context, id -1) shared by every switch and
+// host; a sharded network has one per shard plus the control context.
+// All hot-path state that PR 1 hung off the Network (freelists,
+// counters, hook dispatch) lives here so shards never contend.
+type execCtx struct {
+	net *Network
+	id  int // shard index, or -1 for the control/sequential context
+	eng *sim.Engine
+
+	// Hot-path freelists (see pool.go). Single-threaded per context:
+	// each context's engine dispatches sequentially.
+	evFree    []*fabricEvent
+	entryFree []*bufEntry
+
+	// pktSlab is the tail of the current packet allocation block;
+	// NewPacket carves packets from it (see execCtx.getPacket).
+	pktSlab []ib.Packet
+
+	// faults points at this context's drop/retry counters. The
+	// sequential and control contexts share the Network's exported
+	// Faults field; shard contexts keep their own and FaultTotals sums.
+	faults *FaultStats
+
+	// moved counts packet movements in this context; Network.Moved sums.
+	moved uint64
+
+	// nextID numbers packets created by this context's hosts; IDs are
+	// strided by shard count so they stay globally unique (and reduce
+	// to the sequential 1,2,3,... numbering when there is one context).
+	nextID uint64
+
+	// Per-shard observer hooks. When nil, dispatch falls back to the
+	// Network-level hooks — the sequential path is unchanged. Sharded
+	// collectors register per-shard children here (ChainShardHooks);
+	// the Network-level hooks must stay nil in sharded runs.
+	onCreated   func(*ib.Packet)
+	onDelivered func(*ib.Packet)
+	onHop       func(p *ib.Packet, sw int, out ib.PortID, adaptive bool)
+	onDropped   func(p *ib.Packet, reason DropReason)
+
+	// outbox[d] buffers events this shard produced for shard d during
+	// the current window; the coordinator drains them at the barrier.
+	// nil for the control context, which imports directly (it only
+	// runs while every shard is parked on a barrier).
+	outbox [][]mail
+}
+
+// mail is one deferred cross-shard event with its canonical ordering
+// key: (at, schedAt) is the event's dispatch key, (src, idx) breaks
+// the remaining ties deterministically by producing shard and
+// per-window push order.
+type mail struct {
+	at      sim.Time
+	schedAt sim.Time
+	src     int
+	idx     int
+	ev      *fabricEvent
+}
+
+func mailLess(a, b mail) int {
+	switch {
+	case a.at != b.at:
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	case a.schedAt != b.schedAt:
+		if a.schedAt < b.schedAt {
+			return -1
+		}
+		return 1
+	case a.src != b.src:
+		return a.src - b.src
+	default:
+		return a.idx - b.idx
+	}
+}
+
+// dispatch schedules a pooled event after delay on the target context.
+// Local events go straight onto this context's engine (the sequential
+// fast path — target is always the local context when the network has
+// one shard). Cross-shard events are deferred into the window mailbox;
+// control-context events import directly, which is safe because the
+// control engine only runs while the shards are barrier-parked and
+// clock-aligned.
+func (c *execCtx) dispatch(delay sim.Time, target *execCtx, ev *fabricEvent) {
+	ev.ctx = target
+	if target == c {
+		c.eng.ScheduleAction(delay, ev)
+		return
+	}
+	now := c.eng.Now()
+	if c.id < 0 {
+		target.eng.PushAt(now+delay, now, ev)
+		return
+	}
+	box := c.outbox[target.id]
+	c.outbox[target.id] = append(box, mail{at: now + delay, schedAt: now, src: c.id, idx: len(box), ev: ev})
+}
+
+// PartitionKind names a switch-partitioning strategy.
+const (
+	// PartitionBFS (the default) walks the topology breadth-first from
+	// switch 0 and deals contiguous BFS runs into shards, keeping
+	// neighbourhoods together so fewer links are cut than round-robin.
+	PartitionBFS = "bfs"
+	// PartitionRoundRobin assigns switch s to shard s mod P — the
+	// simplest disjoint cover, useful as a stress partition because it
+	// cuts nearly every link.
+	PartitionRoundRobin = "roundrobin"
+)
+
+// partitionSwitches maps every switch to a shard in [0, shards).
+// Hosts follow their attached switch. Both strategies produce a
+// disjoint cover with every shard non-empty (shards is pre-clamped to
+// the switch count).
+func partitionSwitches(topo interface {
+	// Structural subset of *topology.Topology used here; keeps the
+	// partitioner trivially testable.
+	Neighbors(int) []int
+}, numSwitches, shards int, kind string) []int {
+	part := make([]int, numSwitches)
+	if kind == PartitionRoundRobin {
+		for s := range part {
+			part[s] = s % shards
+		}
+		return part
+	}
+	// BFS order from switch 0, restarting at the lowest unvisited
+	// switch for disconnected leftovers; then cut the order into
+	// near-equal contiguous blocks (first blocks one larger when the
+	// count does not divide evenly).
+	order := make([]int, 0, numSwitches)
+	seen := make([]bool, numSwitches)
+	queue := make([]int, 0, numSwitches)
+	for start := 0; start < numSwitches; start++ {
+		if seen[start] {
+			continue
+		}
+		seen[start] = true
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			s := queue[0]
+			queue = queue[1:]
+			order = append(order, s)
+			for _, nb := range topo.Neighbors(s) {
+				if !seen[nb] {
+					seen[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+	base, extra := numSwitches/shards, numSwitches%shards
+	idx := 0
+	for shard := 0; shard < shards; shard++ {
+		n := base
+		if shard < extra {
+			n++
+		}
+		for i := 0; i < n; i++ {
+			part[order[idx]] = shard
+			idx++
+		}
+	}
+	return part
+}
+
+// computeLookahead returns the conservative window width: the minimum
+// simulated delay any event can carry across a shard boundary. Packet
+// arrivals, deliveries and credit returns all cross on a wire and
+// carry at least the propagation delay (drop paths return credits
+// after exactly PropagationDelay, which undercuts serialization+
+// propagation). Host-side retry re-injections (dropPacket → requeue at
+// the source) can connect ANY two shards regardless of cut links, with
+// the backoff base as their minimum delay, so an enabled retry policy
+// caps the window too. Returns Forever when nothing can cross (single
+// shard).
+func computeLookahead(cfg Config, shards int) sim.Time {
+	if shards <= 1 {
+		return sim.Forever
+	}
+	la := sim.Time(ib.PropagationDelay)
+	if cfg.Retry.MaxRetries > 0 || cfg.Retry.SendTimeout > 0 {
+		b := cfg.Retry.BackoffBase
+		if b <= 0 {
+			b = 1
+		}
+		if b < la {
+			la = b
+		}
+	}
+	return la
+}
+
+// ShardCount returns the number of shards (0 when sequential).
+func (n *Network) ShardCount() int { return len(n.shards) }
+
+// Lookahead returns the conservative window width of a sharded
+// network, or Forever when sequential or single-shard.
+func (n *Network) Lookahead() sim.Time { return n.lookahead }
+
+// ShardOfSwitch returns the shard owning switch s (0 when sequential).
+func (n *Network) ShardOfSwitch(s int) int {
+	if len(n.shards) == 0 {
+		return 0
+	}
+	return n.Switches[s].ctx.id
+}
+
+// ShardOfHost returns the shard owning host h (0 when sequential).
+func (n *Network) ShardOfHost(h int) int {
+	if len(n.shards) == 0 {
+		return 0
+	}
+	return n.Hosts[h].ctx.id
+}
+
+// ShardHooks carries per-shard observer callbacks (see ChainShardHooks).
+type ShardHooks struct {
+	OnCreated   func(*ib.Packet)
+	OnDelivered func(*ib.Packet)
+	OnHop       func(p *ib.Packet, sw int, out ib.PortID, adaptive bool)
+	OnDropped   func(p *ib.Packet, reason DropReason)
+}
+
+// ChainShardHooks registers observer callbacks on one shard, chaining
+// after any callbacks already present (same contract as the
+// Network-level hooks). In sharded runs collectors must attach one
+// (single-threaded) child per shard through this instead of the
+// Network-level hooks, which would race across workers.
+func (n *Network) ChainShardHooks(shard int, h ShardHooks) {
+	c := n.shards[shard]
+	if h.OnCreated != nil {
+		if prev := c.onCreated; prev != nil {
+			next := h.OnCreated
+			c.onCreated = func(p *ib.Packet) { prev(p); next(p) }
+		} else {
+			c.onCreated = h.OnCreated
+		}
+	}
+	if h.OnDelivered != nil {
+		if prev := c.onDelivered; prev != nil {
+			next := h.OnDelivered
+			c.onDelivered = func(p *ib.Packet) { prev(p); next(p) }
+		} else {
+			c.onDelivered = h.OnDelivered
+		}
+	}
+	if h.OnHop != nil {
+		if prev := c.onHop; prev != nil {
+			next := h.OnHop
+			c.onHop = func(p *ib.Packet, sw int, out ib.PortID, adaptive bool) {
+				prev(p, sw, out, adaptive)
+				next(p, sw, out, adaptive)
+			}
+		} else {
+			c.onHop = h.OnHop
+		}
+	}
+	if h.OnDropped != nil {
+		if prev := c.onDropped; prev != nil {
+			next := h.OnDropped
+			c.onDropped = func(p *ib.Packet, reason DropReason) { prev(p, reason); next(p, reason) }
+		} else {
+			c.onDropped = h.OnDropped
+		}
+	}
+}
+
+// FaultTotals sums the degraded-mode counters over every context. On a
+// sequential network it equals the exported Faults field.
+func (n *Network) FaultTotals() FaultStats {
+	t := n.Faults
+	for _, s := range n.shards {
+		t.DroppedUnroutable += s.faults.DroppedUnroutable
+		t.DroppedOnDeadPort += s.faults.DroppedOnDeadPort
+		t.DroppedTimeout += s.faults.DroppedTimeout
+		t.Retries += s.faults.Retries
+		t.Lost += s.faults.Lost
+	}
+	return t
+}
+
+// PendingEvents counts events scheduled anywhere: the control engine,
+// every shard engine, and undrained window mailboxes. The deadlock
+// watchdog uses it — a shard-local Pending() of zero says nothing when
+// a neighbouring shard still holds the credit return that will wake
+// this one.
+func (n *Network) PendingEvents() int {
+	p := n.Engine.Pending()
+	for _, s := range n.shards {
+		p += s.eng.Pending()
+		for _, box := range s.outbox {
+			p += len(box)
+		}
+	}
+	return p
+}
+
+// Processed sums dispatched events over every engine.
+func (n *Network) Processed() uint64 {
+	p := n.Engine.Processed()
+	for _, s := range n.shards {
+		p += s.eng.Processed()
+	}
+	return p
+}
+
+// Recycle returns every engine's queue storage to the arena the
+// network was built with (sim.WithArena), shard queues included, so a
+// sweep's next network reuses all of them. Without an arena it is a
+// no-op; calling it twice is safe.
+func (n *Network) Recycle() {
+	n.Engine.Recycle()
+	for _, s := range n.shards {
+		s.eng.Recycle()
+	}
+}
+
+// Run advances the simulation to the horizon: sequentially on the one
+// engine, or through the conservative-parallel coordinator when the
+// network was built with Cfg.Shards > 1. Both produce bit-identical
+// results.
+func (n *Network) Run(horizon sim.Time) {
+	if len(n.shards) == 0 {
+		n.Engine.Run(horizon)
+		return
+	}
+	n.runSharded(horizon)
+}
+
+// shardWorkers are the persistent window-execution goroutines of one
+// sharded run. All synchronization is channel-based: the send of a
+// window end publishes every coordinator-side write (mailbox imports,
+// control-phase mutations) to the worker, and the completion send
+// publishes the worker's writes back — which is exactly the
+// happens-before structure the race detector verifies in the
+// differential tests.
+type shardWorkers struct {
+	start []chan sim.Time
+	done  chan int
+}
+
+func startWorkers(shards []*execCtx) *shardWorkers {
+	w := &shardWorkers{
+		start: make([]chan sim.Time, len(shards)),
+		done:  make(chan int, len(shards)),
+	}
+	for i := range shards {
+		w.start[i] = make(chan sim.Time)
+		go func(c *execCtx, start <-chan sim.Time) {
+			for end := range start {
+				c.eng.RunBefore(end)
+				w.done <- c.id
+			}
+		}(shards[i], w.start[i])
+	}
+	return w
+}
+
+func (w *shardWorkers) stop() {
+	for _, ch := range w.start {
+		close(ch)
+	}
+}
+
+// runSharded is the coordinator loop. Invariants:
+//   - between iterations every mailbox is empty and every pending
+//     event sits in some engine's queue;
+//   - t, the earliest pending timestamp anywhere, only ever grows;
+//   - events cross shard boundaries with delay >= lookahead, so a
+//     window [t, t+lookahead) can run shard-local without ever
+//     receiving an event it should already have dispatched.
+func (n *Network) runSharded(horizon sim.Time) {
+	var w *shardWorkers
+	if len(n.shards) > 1 && runtime.GOMAXPROCS(0) > 1 {
+		w = startWorkers(n.shards)
+		defer w.stop()
+	}
+	active := make([]int, 0, len(n.shards))
+	for {
+		t := n.Engine.NextEventTime()
+		for _, s := range n.shards {
+			if nt := s.eng.NextEventTime(); nt < t {
+				t = nt
+			}
+		}
+		if t > horizon || t == sim.Forever {
+			break
+		}
+		if n.Engine.NextEventTime() == t {
+			// Control work due: align everyone on t and execute the
+			// whole timestamp single-threaded in merged order, so
+			// control events (fault flips, staged reprogramming,
+			// watchdog audits) interleave with shard events exactly as
+			// the one-queue sequential run interleaves them.
+			n.runMergedAt(t)
+			n.drainOutboxes()
+			continue
+		}
+		endEx := sim.Forever
+		if n.lookahead < sim.Forever && t <= sim.Forever-n.lookahead {
+			endEx = t + n.lookahead
+		}
+		if ctl := n.Engine.NextEventTime(); ctl < endEx {
+			endEx = ctl
+		}
+		if horizon < sim.Forever && horizon+1 < endEx {
+			endEx = horizon + 1
+		}
+		active = active[:0]
+		for i, s := range n.shards {
+			if s.eng.NextEventTime() < endEx {
+				active = append(active, i)
+			}
+		}
+		if w == nil || len(active) < 2 {
+			for _, i := range active {
+				n.shards[i].eng.RunBefore(endEx)
+			}
+		} else {
+			for _, i := range active {
+				w.start[i] <- endEx
+			}
+			for range active {
+				<-w.done
+			}
+		}
+		n.drainOutboxes()
+	}
+	// Mirror the sequential clock contract: every engine finishes at
+	// the time of the last dispatched event anywhere (utilization
+	// reports divide by it). Nothing pending can predate it.
+	end := n.Engine.Now()
+	for _, s := range n.shards {
+		if now := s.eng.Now(); now > end {
+			end = now
+		}
+	}
+	if n.Engine.Now() < end {
+		n.Engine.AdvanceTo(end)
+	}
+	for _, s := range n.shards {
+		if s.eng.Now() < end {
+			s.eng.AdvanceTo(end)
+		}
+	}
+}
+
+// runMergedAt aligns every engine on timestamp t and dispatches all
+// events at exactly t, across the control and shard engines, in global
+// (at, schedAt, engine) order — the control engine ordering first
+// among exact key ties, matching the sequential engine's behaviour of
+// dispatching an event stream in one queue. Events the timestamp
+// spawns at t itself (delay-0 kicks) join the merge; later events stay
+// queued; cross-shard events go to the mailboxes as usual and are
+// drained by the caller.
+func (n *Network) runMergedAt(t sim.Time) {
+	n.Engine.AdvanceTo(t)
+	for _, s := range n.shards {
+		s.eng.AdvanceTo(t)
+	}
+	for {
+		var best *sim.Engine
+		bestAt := sim.Forever
+		var bestSched sim.Time
+		consider := func(e *sim.Engine) {
+			at, schedAt, ok := e.PeekKey()
+			if !ok || at != t {
+				return
+			}
+			if at < bestAt || (at == bestAt && schedAt < bestSched) {
+				best, bestAt, bestSched = e, at, schedAt
+			}
+		}
+		consider(n.Engine)
+		for _, s := range n.shards {
+			consider(s.eng)
+		}
+		if best == nil {
+			return
+		}
+		best.Step()
+	}
+}
+
+// drainOutboxes merges every window mailbox into its target shard's
+// queue in canonical (at, schedAt, srcShard, pushOrder) order. Runs on
+// the coordinator with all workers parked.
+func (n *Network) drainOutboxes() {
+	for d, dst := range n.shards {
+		scratch := n.mailScratch[:0]
+		for _, s := range n.shards {
+			if box := s.outbox[d]; len(box) > 0 {
+				scratch = append(scratch, box...)
+				clear(box)
+				s.outbox[d] = box[:0]
+			}
+		}
+		if len(scratch) == 0 {
+			continue
+		}
+		slices.SortFunc(scratch, mailLess)
+		for i := range scratch {
+			dst.eng.PushAt(scratch[i].at, scratch[i].schedAt, scratch[i].ev)
+		}
+		clear(scratch)
+		n.mailScratch = scratch[:0]
+	}
+}
+
+// buildShards partitions the network and creates the per-shard
+// execution contexts. Called by NewNetwork after wiring; engineOpts
+// are the exact options the control engine was built with, so every
+// shard queue shares the geometry (and arena, when one is configured).
+func (n *Network) buildShards(engineOpts []sim.EngineOption) error {
+	shards := n.Cfg.Shards
+	if shards > len(n.Switches) {
+		shards = len(n.Switches)
+	}
+	if shards <= 1 {
+		return nil
+	}
+	kind := n.Cfg.Partition
+	if kind == "" {
+		kind = PartitionBFS
+	}
+	part := partitionSwitches(n.Topo, n.Topo.NumSwitches, shards, kind)
+	n.partition = part
+	n.lookahead = computeLookahead(n.Cfg, shards)
+	n.shards = make([]*execCtx, shards)
+	for i := range n.shards {
+		n.shards[i] = &execCtx{
+			net:    n,
+			id:     i,
+			eng:    sim.NewEngine(engineOpts...),
+			outbox: make([][]mail, shards),
+		}
+		n.shards[i].faults = &FaultStats{}
+	}
+	for s, sw := range n.Switches {
+		sw.ctx = n.shards[part[s]]
+	}
+	for h, host := range n.Hosts {
+		host.ctx = n.shards[part[n.Topo.HostSwitch(h)]]
+	}
+	return nil
+}
+
+// validateShardMode rejects configurations whose forwarding draws on
+// the network-global RNG: static (non-status-aware) adaptive selection
+// and source multipath both consume n.rng per packet/hop, and a
+// per-shard consumption order cannot reproduce the sequential stream.
+// Status-aware selection — the paper's default — is RNG-free in the
+// forwarding path.
+func validateShardMode(c Config) error {
+	if c.Shards <= 1 {
+		return nil
+	}
+	if !c.Selection.StatusAware {
+		return fmt.Errorf("fabric: Shards > 1 requires status-aware selection (static selection draws the shared RNG per hop)")
+	}
+	if c.SourceMultipath > 1 {
+		return fmt.Errorf("fabric: Shards > 1 is incompatible with SourceMultipath (per-packet shared RNG draw)")
+	}
+	return nil
+}

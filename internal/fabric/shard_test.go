@@ -1,0 +1,177 @@
+package fabric
+
+// In-package shard tests: the partitioner and the per-shard execution
+// plumbing are unexported, and the end-to-end bit-exactness evidence
+// lives in internal/experiments/shard_diff_test.go; these cover the
+// structural invariants the differential cannot localize.
+
+import (
+	"testing"
+
+	"ibasim/internal/ib"
+	"ibasim/internal/sim"
+	"ibasim/internal/topology"
+)
+
+func shardTopo(tb testing.TB, n int) *topology.Topology {
+	tb.Helper()
+	topo, err := topology.GenerateIrregular(topology.IrregularSpec{
+		NumSwitches: n, HostsPerSwitch: 4, InterSwitch: 4, Seed: 3,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return topo
+}
+
+// TestPartitionersDisjointCover: every strategy must assign every
+// switch to exactly one shard in range, with no shard left empty, for
+// every shard count up to the switch count.
+func TestPartitionersDisjointCover(t *testing.T) {
+	topo := shardTopo(t, 16)
+	for _, kind := range []string{PartitionBFS, PartitionRoundRobin} {
+		for shards := 1; shards <= topo.NumSwitches; shards++ {
+			part := partitionSwitches(topo, topo.NumSwitches, shards, kind)
+			if len(part) != topo.NumSwitches {
+				t.Fatalf("%s/%d: partition covers %d switches", kind, shards, len(part))
+			}
+			sizes := make([]int, shards)
+			for s, p := range part {
+				if p < 0 || p >= shards {
+					t.Fatalf("%s/%d: switch %d assigned to shard %d", kind, shards, s, p)
+				}
+				sizes[p]++
+			}
+			for p, n := range sizes {
+				if n == 0 {
+					t.Fatalf("%s/%d: shard %d is empty", kind, shards, p)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionBFSCutsFewerLinks: the point of the BFS partitioner is
+// locality — on a connected irregular topology it should cut no more
+// inter-switch links than round-robin (which cuts nearly all of them).
+func TestPartitionBFSCutsFewerLinks(t *testing.T) {
+	topo := shardTopo(t, 16)
+	cut := func(part []int) int {
+		n := 0
+		for _, l := range topo.Links {
+			if part[l.A] != part[l.B] {
+				n++
+			}
+		}
+		return n
+	}
+	for _, shards := range []int{2, 4} {
+		bfs := cut(partitionSwitches(topo, topo.NumSwitches, shards, PartitionBFS))
+		rr := cut(partitionSwitches(topo, topo.NumSwitches, shards, PartitionRoundRobin))
+		if bfs > rr {
+			t.Errorf("shards=%d: BFS cuts %d links, round-robin %d", shards, bfs, rr)
+		}
+	}
+}
+
+// TestLookaheadDerivation pins the window width: the propagation delay
+// normally, capped by the retry backoff base when a retry policy lets
+// dropped packets requeue across arbitrary shard pairs.
+func TestLookaheadDerivation(t *testing.T) {
+	cfg := DefaultConfig()
+	if la := computeLookahead(cfg, 1); la != sim.Forever {
+		t.Errorf("single shard lookahead = %v, want Forever", la)
+	}
+	if la := computeLookahead(cfg, 4); la != sim.Time(ib.PropagationDelay) {
+		t.Errorf("lookahead = %v, want propagation delay %d", la, ib.PropagationDelay)
+	}
+	cfg.Retry = RetryConfig{MaxRetries: 3, BackoffBase: 40}
+	if la := computeLookahead(cfg, 4); la != 40 {
+		t.Errorf("retry lookahead = %v, want backoff base 40", la)
+	}
+	cfg.Retry = RetryConfig{MaxRetries: 3, BackoffBase: 1_000_000}
+	if la := computeLookahead(cfg, 4); la != sim.Time(ib.PropagationDelay) {
+		t.Errorf("slow-retry lookahead = %v, want propagation delay", la)
+	}
+	cfg.Retry = RetryConfig{SendTimeout: 500} // timeout drops requeue too
+	if la := computeLookahead(cfg, 4); la != 1 {
+		t.Errorf("zero-base retry lookahead = %v, want 1", la)
+	}
+}
+
+// TestShardNetworkStructure verifies the wiring NewNetwork does for a
+// sharded config: contexts assigned per the partition, hosts following
+// their switch, shard count clamped to the switch count.
+func TestShardNetworkStructure(t *testing.T) {
+	topo := shardTopo(t, 8)
+	plan, err := ib.NewAddressPlan(topo.NumHosts(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Shards = 64 // clamped to 8 switches
+	net, err := NewNetwork(topo, plan, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.ShardCount() != 8 {
+		t.Fatalf("ShardCount = %d, want 8 (clamped)", net.ShardCount())
+	}
+	if net.Lookahead() != sim.Time(ib.PropagationDelay) {
+		t.Fatalf("Lookahead = %v", net.Lookahead())
+	}
+	for s, sw := range net.Switches {
+		if sw.ctx.id != net.ShardOfSwitch(s) {
+			t.Fatalf("switch %d ctx %d != ShardOfSwitch %d", s, sw.ctx.id, net.ShardOfSwitch(s))
+		}
+		for _, o := range sw.out {
+			if o != nil && o.ctx != sw.ctx {
+				t.Fatalf("switch %d out port ctx not the switch's", s)
+			}
+		}
+	}
+	for h, host := range net.Hosts {
+		if want := net.ShardOfSwitch(topo.HostSwitch(h)); host.ctx.id != want {
+			t.Fatalf("host %d on shard %d, its switch on %d", h, host.ctx.id, want)
+		}
+		if host.out.ctx != host.ctx {
+			t.Fatalf("host %d out port ctx not the host's", h)
+		}
+	}
+}
+
+// TestShardRecycleReturnsAllQueues is the sweep-arena gate for sharded
+// runs: Network.Recycle must hand back every engine's storage — the
+// control queue plus one per shard — so the next sweep point reuses
+// all of them.
+func TestShardRecycleReturnsAllQueues(t *testing.T) {
+	topo := shardTopo(t, 8)
+	plan, err := ib.NewAddressPlan(topo.NumHosts(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := sim.NewQueueArena()
+	cfg := DefaultConfig()
+	cfg.Shards = 4
+	cfg.EngineOpts = []sim.EngineOption{sim.WithArena(arena)}
+	net, err := NewNetwork(topo, plan, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Recycle()
+	if got := arena.Pooled(); got != 5 {
+		t.Fatalf("arena pooled %d queues after Recycle, want 5 (control + 4 shards)", got)
+	}
+	// A second network with the same config must draw all five back out.
+	net2, err := NewNetwork(topo, plan, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := arena.Pooled(); got != 0 {
+		t.Fatalf("arena still pools %d queues after rebuild, want 0", got)
+	}
+	net2.Recycle()
+	if got := arena.Pooled(); got != 5 {
+		t.Fatalf("arena pooled %d queues after second Recycle, want 5", got)
+	}
+}

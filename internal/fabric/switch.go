@@ -15,6 +15,7 @@ import (
 // allocation pass (arbitrate) that honours the credit rules of §4.4.
 type Switch struct {
 	net *Network
+	ctx *execCtx // execution context (shard) owning this switch
 	id  int
 
 	// enhanced marks a switch with the paper's extensions; stock
@@ -126,7 +127,7 @@ func (sw *Switch) kick() {
 		return
 	}
 	sw.arbPending = true
-	sw.net.Engine.Schedule(0, sw.arbFn)
+	sw.ctx.eng.Schedule(0, sw.arbFn)
 }
 
 // finishWiring precomputes the per-switch hot-path state once the
@@ -150,18 +151,18 @@ func (sw *Switch) receive(port ib.PortID, vl int, pkt *ib.Packet) {
 		// The switch failed while the packet was on the wire: it is
 		// discarded at the dead input, and the freed buffer space is
 		// reported upstream so credit conservation holds.
-		sw.net.scheduleCreditReturn(ib.PropagationDelay, sw.in[port].upstream, vl, pkt.Credits())
-		sw.net.dropPacket(pkt, DropDeadPort)
+		sw.ctx.scheduleCreditReturn(ib.PropagationDelay, sw.in[port].upstream, vl, pkt.Credits())
+		sw.ctx.dropPacket(pkt, DropDeadPort)
 		return
 	}
-	now := sw.net.Engine.Now()
-	e := sw.net.getEntry()
+	now := sw.ctx.eng.Now()
+	e := sw.ctx.getEntry()
 	e.pkt = pkt
 	e.readyAt = now + ib.RoutingDelay
 	if sw.enhanced {
 		escape, adaptive, err := sw.table.Lookup(pkt.DLID)
 		if err != nil {
-			sw.net.putEntry(e)
+			sw.ctx.putEntry(e)
 			sw.dropUnroutable(port, vl, pkt)
 			return
 		}
@@ -174,22 +175,22 @@ func (sw *Switch) receive(port ib.PortID, vl int, pkt *ib.Packet) {
 		// the single routing option.
 		p := sw.table.Get(pkt.DLID)
 		if p == ib.InvalidPort {
-			sw.net.putEntry(e)
+			sw.ctx.putEntry(e)
 			sw.dropUnroutable(port, vl, pkt)
 			return
 		}
 		e.escape = p
 	}
 	sw.in[port].vls[vl].push(e)
-	sw.net.Engine.Schedule(ib.RoutingDelay, sw.kickFn)
+	sw.ctx.eng.Schedule(ib.RoutingDelay, sw.kickFn)
 }
 
 // dropUnroutable discards a packet whose DLID has no programmed port
 // (a mid-reconfiguration transient) and returns its buffer space to
 // the upstream transmitter.
 func (sw *Switch) dropUnroutable(port ib.PortID, vl int, pkt *ib.Packet) {
-	sw.net.scheduleCreditReturn(ib.PropagationDelay, sw.in[port].upstream, vl, pkt.Credits())
-	sw.net.dropPacket(pkt, DropUnroutable)
+	sw.ctx.scheduleCreditReturn(ib.PropagationDelay, sw.in[port].upstream, vl, pkt.Credits())
+	sw.ctx.dropPacket(pkt, DropUnroutable)
 }
 
 // selectImmediate fixes the output port right after the table access
@@ -201,7 +202,7 @@ func (sw *Switch) selectImmediate(e *bufEntry) {
 		e.chosen, e.chosenIsAdaptive = e.escape, false
 		return
 	}
-	now := sw.net.Engine.Now()
+	now := sw.ctx.eng.Now()
 	if sw.net.Cfg.Selection.StatusAware {
 		cands := sw.adaptiveCandidates(e, now)
 		if i := core.PickAdaptive(sw.net.Cfg.Selection, cands, sw.net.rng); i >= 0 {
@@ -285,7 +286,7 @@ type servicePoint struct {
 // round-robin order and start every transmission whose credit and
 // link conditions hold, repeating until a full scan makes no progress.
 func (sw *Switch) arbitrate() {
-	now := sw.net.Engine.Now()
+	now := sw.ctx.eng.Now()
 	points := sw.points
 	if len(points) == 0 {
 		return
@@ -371,7 +372,7 @@ func (sw *Switch) chooseOutput(e *bufEntry, now sim.Time) (out ib.PortID, asAdap
 // this switch's own input buffer travels back after the tail leaves,
 // and the head arrives at the peer after the propagation delay.
 func (sw *Switch) startTx(buf *vlBuffer, idx int, sp servicePoint, out ib.PortID, asAdaptive bool) {
-	now := sw.net.Engine.Now()
+	now := sw.ctx.eng.Now()
 	e := buf.removeAt(idx)
 	pkt := e.pkt
 	o := sw.out[out]
@@ -386,29 +387,31 @@ func (sw *Switch) startTx(buf *vlBuffer, idx int, sp servicePoint, out ib.PortID
 	o.busyAccum += ser
 	o.txPackets++
 	pkt.Hops++
-	sw.net.moved++
-	if sw.net.OnHop != nil {
+	sw.ctx.moved++
+	if sw.ctx.onHop != nil {
+		sw.ctx.onHop(pkt, sw.id, out, asAdaptive)
+	} else if sw.net.OnHop != nil {
 		sw.net.OnHop(pkt, sw.id, out, asAdaptive)
 	}
 
 	// Credit update to our upstream once the tail has left this
 	// buffer (ser) and flown back (prop).
 	credits := pkt.Credits()
-	sw.net.scheduleCreditReturn(ser+ib.PropagationDelay, sw.in[sp.port].upstream, sp.vl, credits)
+	sw.ctx.scheduleCreditReturn(ser+ib.PropagationDelay, sw.in[sp.port].upstream, sp.vl, credits)
 
 	if o.peerHost != nil {
-		sw.net.scheduleDeliver(ser+ib.PropagationDelay, o.peerHost, pkt)
+		sw.ctx.scheduleDeliver(ser+ib.PropagationDelay, o.peerHost, pkt)
 		// The CA drains at line rate: its buffer frees as the tail
 		// arrives, and the credit update flies back one propagation
 		// delay later.
-		sw.net.scheduleCreditReturn(ser+2*ib.PropagationDelay, o, vl, credits)
+		sw.ctx.scheduleCreditReturn(ser+2*ib.PropagationDelay, o, vl, credits)
 	} else {
-		sw.net.scheduleReceive(ib.PropagationDelay, o.peerSwitch, o.peerPort, vl, pkt)
+		sw.ctx.scheduleReceive(ib.PropagationDelay, o.peerSwitch, o.peerPort, vl, pkt)
 	}
 	// The link frees at ser; look for more work then.
-	sw.net.Engine.Schedule(ser, sw.kickFn)
+	sw.ctx.eng.Schedule(ser, sw.kickFn)
 	// The entry's journey through this switch is over; recycle it.
-	sw.net.putEntry(e)
+	sw.ctx.putEntry(e)
 }
 
 // buildServicePoints enumerates the wired (port, VL) buffers; the

@@ -18,6 +18,13 @@ import (
 
 type flowKey struct{ src, dst int }
 
+// Step records the buffer occupancy after the last delivery of one
+// simulated timestamp (see Buffer.TrackSteps).
+type Step struct {
+	At   sim.Time
+	Held int
+}
+
 // Buffer reassembles sequence order per flow.
 type Buffer struct {
 	expected map[flowKey]uint64
@@ -27,10 +34,30 @@ type Buffer struct {
 	Parked       uint64 // packets that had to wait
 	PassedThru   uint64 // packets released immediately
 	CurrentHeld  int
-	PeakHeld     int
+	PeakHeld     int      // peak end-of-timestamp occupancy; final after Finalize
 	ReorderDelay sim.Time // total extra waiting summed over parked packets
 
+	// TrackSteps, when set before the first Deliver, logs the
+	// occupancy after each distinct delivery timestamp. Sharded runs
+	// enable it on the per-shard buffers so MergePeak can reconstruct
+	// the global occupancy profile exactly.
+	TrackSteps bool
+	steps      []Step
+
+	// Peak occupancy is sampled once per simulated timestamp, at the
+	// occupancy left after the last delivery of that timestamp — not
+	// at every park. Mid-timestamp transients depend on the dispatch
+	// order of equal-time deliveries at different hosts, which is the
+	// one thing a sharded run does not reproduce; end-of-timestamp
+	// occupancy is order-free, so both engines report the same peak.
+	lastAt  sim.Time
+	hasLast bool
+
 	arrival map[uint64]sim.Time // packet ID -> arrival time, for delay accounting
+
+	// out is the release-run scratch returned by Deliver, reused
+	// across calls so an in-order delivery allocates nothing.
+	out []*ib.Packet
 }
 
 // NewBuffer returns an empty reorder buffer.
@@ -42,11 +69,29 @@ func NewBuffer() *Buffer {
 	}
 }
 
+// closeStep samples the occupancy at the end of the timestamp that
+// just finished (lastAt).
+func (b *Buffer) closeStep() {
+	if b.CurrentHeld > b.PeakHeld {
+		b.PeakHeld = b.CurrentHeld
+	}
+	if b.TrackSteps {
+		b.steps = append(b.steps, Step{At: b.lastAt, Held: b.CurrentHeld})
+	}
+}
+
 // Deliver accepts a packet arriving at the destination at time now and
 // returns the packets releasable in order (possibly none, possibly a
 // run ending with previously parked successors). Packets of a flow
-// must carry the per-flow SeqNo the fabric assigns at injection.
+// must carry the per-flow SeqNo the fabric assigns at injection. The
+// returned slice is reused by the next Deliver call; callers that need
+// to keep it must copy. Call Finalize after the last delivery to close
+// the peak-occupancy accounting.
 func (b *Buffer) Deliver(p *ib.Packet, now sim.Time) []*ib.Packet {
+	if b.hasLast && now != b.lastAt {
+		b.closeStep()
+	}
+	b.lastAt, b.hasLast = now, true
 	key := flowKey{src: p.Src, dst: p.Dst}
 	next := b.expected[key]
 	if p.SeqNo != next {
@@ -59,13 +104,10 @@ func (b *Buffer) Deliver(p *ib.Packet, now sim.Time) []*ib.Packet {
 		b.arrival[p.ID] = now
 		b.Parked++
 		b.CurrentHeld++
-		if b.CurrentHeld > b.PeakHeld {
-			b.PeakHeld = b.CurrentHeld
-		}
 		return nil
 	}
 	// In order: release it and any parked run behind it.
-	out := []*ib.Packet{p}
+	out := append(b.out[:0], p)
 	b.PassedThru++
 	next++
 	for {
@@ -81,7 +123,54 @@ func (b *Buffer) Deliver(p *ib.Packet, now sim.Time) []*ib.Packet {
 		next++
 	}
 	b.expected[key] = next
+	b.out = out
 	return out
+}
+
+// Finalize closes the last timestamp's occupancy sample. Idempotent;
+// PeakHeld (and the step log) are complete afterwards.
+func (b *Buffer) Finalize() {
+	if b.hasLast {
+		b.closeStep()
+		b.hasLast = false
+	}
+}
+
+// Steps returns the occupancy step log (TrackSteps must have been set;
+// call Finalize first).
+func (b *Buffer) Steps() []Step { return b.steps }
+
+// MergePeak reconstructs the peak end-of-timestamp occupancy of the
+// union of several finalized, step-tracked buffers holding disjoint
+// flow sets (the per-shard buffers of a sharded run). Because the
+// flows are disjoint, the global occupancy at any time is the sum of
+// the per-buffer occupancies, which only changes at step times; the
+// walk visits the union of step times in order and takes the maximum.
+func MergePeak(bufs []*Buffer) int {
+	idx := make([]int, len(bufs))
+	cur := make([]int, len(bufs))
+	peak, sum := 0, 0
+	for {
+		next := sim.Forever
+		for i, b := range bufs {
+			if idx[i] < len(b.steps) && b.steps[idx[i]].At < next {
+				next = b.steps[idx[i]].At
+			}
+		}
+		if next == sim.Forever {
+			return peak
+		}
+		for i, b := range bufs {
+			if idx[i] < len(b.steps) && b.steps[idx[i]].At == next {
+				sum += b.steps[idx[i]].Held - cur[i]
+				cur[i] = b.steps[idx[i]].Held
+				idx[i]++
+			}
+		}
+		if sum > peak {
+			peak = sum
+		}
+	}
 }
 
 // Held returns the number of packets currently parked.

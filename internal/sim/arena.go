@@ -45,3 +45,12 @@ func (a *QueueArena) put(q *calendarQueue) {
 	a.free = append(a.free, q)
 	a.mu.Unlock()
 }
+
+// Pooled reports how many recycled queues the arena currently holds
+// (shard tests verify a sharded network returns every engine's
+// storage, not just the control engine's).
+func (a *QueueArena) Pooled() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.free)
+}

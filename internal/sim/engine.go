@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Engine is the discrete-event simulation core. Components schedule
 // callbacks at future simulated times; Run dispatches them in
@@ -117,8 +120,85 @@ func (e *Engine) AtAction(t Time, a Action) {
 	if a == nil {
 		panic("sim: nil event action")
 	}
-	e.queue.push(event{at: t, seq: e.seq, act: a})
+	e.queue.push(event{at: t, key: eventKey(t, e.now, e.nextSeq()), act: a})
+}
+
+// nextSeq returns the engine's next event sequence number. The packed
+// event key stores it in 32 bits; one engine run would have to
+// schedule over four billion events to exhaust it — hours of wall
+// time beyond any experiment here — so exhaustion is a model bug
+// worth a loud stop rather than a silently wrapped dispatch order.
+func (e *Engine) nextSeq() uint64 {
+	if e.seq > math.MaxUint32 {
+		panic("sim: event sequence space exhausted (2^32 events in one engine)")
+	}
+	s := e.seq
 	e.seq++
+	return s
+}
+
+// PushAt inserts an event with an explicit (at, schedAt) ordering key.
+// It is the cross-engine import primitive of the sharded coordinator:
+// when an event produced by one shard (or by the control engine) is
+// handed to another shard's queue, it must keep the schedule-time key
+// it was created with, not the importing engine's clock. at must not
+// be in the past of this engine and schedAt must not exceed at.
+func (e *Engine) PushAt(at, schedAt Time, a Action) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: import at %v before now %v", at, e.now))
+	}
+	if schedAt > at {
+		panic(fmt.Sprintf("sim: import schedAt %v after at %v", schedAt, at))
+	}
+	if a == nil {
+		panic("sim: nil event action")
+	}
+	e.queue.push(event{at: at, key: eventKey(at, schedAt, e.nextSeq()), act: a})
+}
+
+// AdvanceTo moves the clock forward to t without dispatching anything.
+// The sharded coordinator uses it to align every shard engine on a
+// barrier timestamp before merged execution; it panics if an event
+// earlier than t is still pending (advancing past it would violate
+// causality) or if t is in the past.
+func (e *Engine) AdvanceTo(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: AdvanceTo %v before now %v", t, e.now))
+	}
+	if next := e.queue.peekTime(); next < t {
+		panic(fmt.Sprintf("sim: AdvanceTo %v past pending event at %v", t, next))
+	}
+	e.now = t
+}
+
+// NextEventTime returns the timestamp of the earliest pending event,
+// or Forever if the queue is empty.
+func (e *Engine) NextEventTime() Time { return e.queue.peekTime() }
+
+// peekKey returns the full (at, schedAt) dispatch key of the earliest
+// pending event. It must not be called on an empty queue; the shard
+// coordinator uses it to merge events across engines in canonical
+// order during single-threaded barrier phases.
+func (e *Engine) peekKey() (at, schedAt Time) {
+	switch q := e.queue.(type) {
+	case *calendarQueue:
+		ev := q.peek()
+		return ev.at, keySchedAt(ev.at, ev.key)
+	case *heapQueue:
+		ev := q.peek()
+		return ev.at, keySchedAt(ev.at, ev.key)
+	}
+	panic("sim: peekKey on unknown queue implementation")
+}
+
+// PeekKey is the exported form of peekKey for coordinators living in
+// other packages. ok is false when no event is pending.
+func (e *Engine) PeekKey() (at, schedAt Time, ok bool) {
+	if e.queue.len() == 0 {
+		return 0, 0, false
+	}
+	at, schedAt = e.peekKey()
+	return at, schedAt, true
 }
 
 // Run dispatches events until the queue is empty or the next event is
@@ -144,6 +224,31 @@ func (e *Engine) Run(horizon Time) {
 	// When the queue drains before the horizon the clock stays at the
 	// last dispatched event; callers that need the horizon time read it
 	// from their own config.
+}
+
+// RunBefore dispatches every pending event strictly earlier than end,
+// in order, and returns. Events at or after end stay queued and the
+// clock finishes at the last dispatched event (it does not jump to
+// end — AdvanceTo does that explicitly). This is the shard worker's
+// window primitive: the coordinator guarantees no event before end can
+// arrive from another shard, so the window body is safe to run without
+// synchronization.
+func (e *Engine) RunBefore(end Time) {
+	if e.running {
+		panic("sim: RunBefore called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.queue.len() > 0 {
+		t := e.queue.peekTime()
+		if t >= end {
+			break
+		}
+		ev := e.queue.pop()
+		e.now = ev.at
+		e.processed++
+		ev.act.Do()
+	}
 }
 
 // RunUntilIdle dispatches every scheduled event regardless of time.

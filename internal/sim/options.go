@@ -84,6 +84,18 @@ func WithBucketWidth(w Time) EngineOption {
 	}
 }
 
+// WithWheelGeometry pins the calendar wheel to 1<<slotBits buckets of
+// 1<<widthBits ns each, clearing any span hint accumulated so far.
+// Tiny wheels wrap and overflow constantly — exactly what the
+// scheduler and shard differential tests want to stress; production
+// callers should prefer WithSpanHint.
+func WithWheelGeometry(slotBits, widthBits uint) EngineOption {
+	return func(c *engineConfig) {
+		c.slotBits, c.widthBits = slotBits, widthBits
+		c.spanHint = 0
+	}
+}
+
 // WithCapacityHint pre-sizes event storage for roughly n standing
 // events, moving slice growth from the first simulated microseconds
 // to construction time.

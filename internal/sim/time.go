@@ -3,14 +3,18 @@
 // event queue with deterministic FIFO tie-breaking, a scheduling engine,
 // and a deterministic pseudo-random number generator.
 //
-// The engine is deliberately single-threaded: network simulations of
-// this kind are dominated by fine-grained causal dependencies (a credit
-// return unblocks an arbitration which starts a transmission), and a
+// Each Engine is single-threaded: network simulations of this kind are
+// dominated by fine-grained causal dependencies (a credit return
+// unblocks an arbitration which starts a transmission), and a
 // sequential event loop with deterministic ordering makes every run
-// exactly reproducible from its seed. Parallelism in the repository
-// lives one level up, in the experiment harness, which runs independent
-// simulations (different topologies, loads, seeds) on separate
-// goroutines.
+// exactly reproducible from its seed. Parallelism within one run lives
+// in the fabric's shard coordinator, which partitions the network
+// across several engines and advances them in conservative lookahead
+// windows (RunBefore/AdvanceTo/PushAt are the primitives it drives);
+// parallelism across runs lives in the experiment harness, which runs
+// independent simulations (different topologies, loads, seeds) on
+// separate goroutines. Both reproduce the sequential dispatch order
+// bit-exactly.
 package sim
 
 import (

@@ -51,12 +51,20 @@ func (c Config) OfferedPerSwitch(hostsPerSwitch int) float64 {
 // Generator drives packet creation on every host of a network until a
 // stop time.
 type Generator struct {
-	cfg  Config
-	net  *fabric.Network
-	stop sim.Time
+	cfg     Config
+	net     *fabric.Network
+	stop    sim.Time
+	streams []hostStream
+}
 
-	// Generated counts packets handed to source queues.
-	Generated uint64
+// Generated returns the number of packets handed to source queues
+// (summed over the per-host streams; call after the run completes).
+func (g *Generator) Generated() uint64 {
+	var n uint64
+	for i := range g.streams {
+		n += g.streams[i].generated
+	}
+	return n
 }
 
 // NewGenerator validates the config and binds it to a network.
@@ -77,9 +85,13 @@ func NewGenerator(net *fabric.Network, cfg Config) (*Generator, error) {
 type hostStream struct {
 	g    *Generator
 	host *fabric.Host
-	rng  *sim.RNG
+	rng  sim.RNG // split per host, held by value to keep streams one block
 	mean float64
 	fire func()
+
+	// generated is per-stream so sharded runs never share a counter
+	// across shard goroutines.
+	generated uint64
 }
 
 // Start schedules generation on every host from the current simulated
@@ -89,24 +101,31 @@ func (g *Generator) Start(stopAt sim.Time) {
 	g.stop = stopAt
 	mean := float64(g.cfg.PacketSize) / g.cfg.LoadBytesPerNsPerHost
 	root := sim.NewRNG(g.cfg.Seed ^ 0x54524146464943)
-	for _, h := range g.net.Hosts {
-		hs := &hostStream{g: g, host: h, rng: root.Split(uint64(h.ID()) + 1), mean: mean}
+	// All streams live in one backing array; only the recurring event
+	// closure is a per-host allocation.
+	g.streams = make([]hostStream, len(g.net.Hosts))
+	for i, h := range g.net.Hosts {
+		hs := &g.streams[i]
+		hs.g, hs.host, hs.rng, hs.mean = g, h, *root.Split(uint64(h.ID()) + 1), mean
 		hs.fire = hs.generate
-		// Random initial phase avoids all hosts firing in lockstep.
-		g.net.Engine.Schedule(hs.rng.ExpTime(mean), hs.fire)
+		// Random initial phase avoids all hosts firing in lockstep. The
+		// stream's events live on the host's engine — the owning shard's
+		// queue in sharded mode — so generation is shard-local work.
+		h.Engine().Schedule(hs.rng.ExpTime(mean), hs.fire)
 	}
 }
 
 func (hs *hostStream) generate() {
 	g := hs.g
-	if g.net.Engine.Now() >= g.stop {
+	eng := hs.host.Engine()
+	if eng.Now() >= g.stop {
 		return
 	}
-	if dst := g.cfg.Pattern.Dest(hs.host.ID(), hs.rng); dst >= 0 {
+	if dst := g.cfg.Pattern.Dest(hs.host.ID(), &hs.rng); dst >= 0 {
 		adaptive := hs.rng.Bool(g.cfg.AdaptiveFraction)
 		pkt := g.net.NewPacket(hs.host.ID(), dst, g.cfg.PacketSize, adaptive)
 		hs.host.Inject(pkt)
-		g.Generated++
+		hs.generated++
 	}
-	g.net.Engine.Schedule(hs.rng.ExpTime(hs.mean), hs.fire)
+	eng.Schedule(hs.rng.ExpTime(hs.mean), hs.fire)
 }

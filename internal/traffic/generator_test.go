@@ -47,7 +47,7 @@ func TestGeneratorRateMatchesLoad(t *testing.T) {
 	g.Start(horizon)
 	net.Engine.Run(horizon)
 	want := float64(16) * horizon * cfg.LoadBytesPerNsPerHost / float64(cfg.PacketSize)
-	got := float64(g.Generated)
+	got := float64(g.Generated())
 	if math.Abs(got-want)/want > 0.05 {
 		t.Fatalf("generated %v packets, want ~%v", got, want)
 	}
@@ -99,15 +99,15 @@ func TestGeneratorStopsAtHorizon(t *testing.T) {
 	if err := net.Drain(); err != nil {
 		t.Fatal(err)
 	}
-	if g.Generated == 0 {
+	if g.Generated() == 0 {
 		t.Fatal("nothing generated")
 	}
 	var sum uint64
 	for _, h := range net.Hosts {
 		sum += h.Delivered
 	}
-	if sum != g.Generated {
-		t.Fatalf("delivered %d != generated %d", sum, g.Generated)
+	if sum != g.Generated() {
+		t.Fatalf("delivered %d != generated %d", sum, g.Generated())
 	}
 }
 
@@ -127,7 +127,7 @@ func TestGeneratorDeterministicAcrossRuns(t *testing.T) {
 		}
 		g.Start(500_000)
 		net.Engine.Run(500_000)
-		return g.Generated
+		return g.Generated()
 	}
 	if a, b := counts(), counts(); a != b {
 		t.Fatalf("same seed generated %d vs %d packets", a, b)

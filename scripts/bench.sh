@@ -90,4 +90,48 @@ awk '
   }
 ' "$eq_txt" > "$eq_json"
 
-echo "wrote $out_txt, $out_json, $eq_txt and $eq_json"
+# Sharded-engine scaling sweep. BenchmarkFigure3Shards regenerates the
+# 64-switch Figure 3 panel sequentially and at 2/4/8 shards; results
+# are bit-identical (the shard differential suite enforces it), so the
+# sweep is purely a wall-clock measurement. The JSON embeds speedup
+# and parallel-efficiency columns against the sequential point plus
+# the host's core count — on a single-core host the sharded engine
+# runs its inline path and the sweep measures coordination overhead,
+# not speedup (see EXPERIMENTS.md).
+sh_txt=BENCH_shard.txt
+sh_json=BENCH_shard.json
+
+go test -run '^$' -bench 'BenchmarkFigure3Shards' -benchmem -benchtime 1x \
+  -count "$count" . | tee "$sh_txt"
+
+cores=$( (nproc || getconf _NPROCESSORS_ONLN || echo 1) 2>/dev/null | head -1 )
+
+awk -v cores="$cores" '
+  /^BenchmarkFigure3Shards\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^BenchmarkFigure3Shards\//, "", name)
+    ns[name] = $3; b[name] = $5; al[name] = $7
+    if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+  }
+  END {
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkFigure3Shards (64-switch Figure 3 panel)\",\n"
+    printf "  \"cores\": %s,\n", cores
+    printf "  \"sweep\": {\n"
+    for (i = 1; i <= n; i++) {
+      k = order[i]
+      printf "    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s", k, ns[k], b[k], al[k]
+      if (k != "seq" && ns["seq"] > 0) {
+        shards = k; sub(/^shards=/, "", shards)
+        speedup = ns["seq"] / ns[k]
+        printf ", \"speedup_vs_seq\": %.3f, \"parallel_efficiency\": %.3f", speedup, speedup / shards
+      }
+      printf "}%s\n", (i < n ? "," : "")
+    }
+    printf "  }\n"
+    printf "}\n"
+  }
+' "$sh_txt" > "$sh_json"
+
+echo "wrote $out_txt, $out_json, $eq_txt, $eq_json, $sh_txt and $sh_json"

@@ -18,8 +18,8 @@ go test -race ./...
 echo "==> alloc-regression gates (hot path must not allocate)"
 go test -run 'ZeroAllocs' -v ./internal/core/ ./internal/sim/ ./internal/fabric/
 
-echo "==> determinism golden"
-go test -run 'TestFigure3Deterministic' -v ./internal/experiments/
+echo "==> determinism golden (sequential and sharded engines)"
+go test -run 'TestFigure3Deterministic|TestFigure3GoldenSharded' -v ./internal/experiments/
 
 echo "==> scheduler equivalence (calendar vs heap differential)"
 go test -run 'TestEventQueueDifferential|TestEngineSchedulersEquivalent' -v ./internal/sim/
@@ -29,5 +29,13 @@ go test -run '^$' -fuzz 'FuzzEventQueueOrdering' -fuzztime 10s ./internal/sim/
 
 echo "==> fault-campaign smoke (seeded flaps, staged recovery, watchdog)"
 go test -race -run 'TestCampaignSmokeCI' -v ./internal/faults/
+
+echo "==> sharded-engine differential (bit-exact vs sequential, worker goroutines forced)"
+# GOMAXPROCS=4 forces the shard coordinator onto its worker-goroutine
+# path even on single-core runners (at GOMAXPROCS=1 it runs shards
+# inline); -count=1 defeats the test cache, which ignores env changes.
+GOMAXPROCS=4 go test -race -count=1 \
+  -run 'TestShardEngineBitExact|TestShardModeValidation' -v ./internal/experiments/
+GOMAXPROCS=4 go test -race -count=1 -run 'TestShard|TestPartition|TestLookahead' ./internal/fabric/
 
 echo "CI OK"
