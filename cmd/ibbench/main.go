@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ibasim"
 	"ibasim/internal/experiments"
 	"ibasim/internal/faults"
 	"ibasim/internal/prof"
@@ -83,6 +84,7 @@ func main() {
 	engine := flag.String("engine", "seq", "execution engine: seq (single event loop) or shard (conservative-parallel; bit-identical results)")
 	shards := flag.Int("shards", 0, "shard count for -engine shard (default 2; clamped to the switch count)")
 	partition := flag.String("partition", "", "shard partitioner: bfs (locality, default) or roundrobin")
+	check := flag.Bool("check", false, "enable heavy invariant audits on every run (results are bit-identical)")
 	faultSpec := flag.String("faults", "rand:4:15000@50000-150000; autoreconfig:10000", "faults: campaign spec string or @file.json")
 	faultSeed := flag.Uint64("fault-seed", 1, "faults: seed for the campaign's randomized elements")
 	pcfg := prof.Flags()
@@ -91,6 +93,12 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "ibbench:", err)
 		os.Exit(1)
+	}
+
+	// Reject unsupported flag combinations before any work starts; the
+	// FeatureSet table is the single source of truth for what composes.
+	if err := (ibasim.FeatureSet{Engine: *engine, Shards: *shards, Check: *check}).Validate(); err != nil {
+		fail(err)
 	}
 
 	stopProf, err := pcfg.Start()
@@ -146,20 +154,14 @@ func main() {
 		fail(err)
 	}
 	sc.EngineOpts = []sim.EngineOption{sim.WithScheduler(kind)}
-	switch *engine {
-	case "", "seq":
-		if *shards > 1 {
-			fail(fmt.Errorf("-shards %d requires -engine shard", *shards))
-		}
-	case "shard":
+	if *engine == "shard" {
 		sc.Shards = *shards
 		if sc.Shards == 0 {
 			sc.Shards = 2
 		}
 		sc.Partition = *partition
-	default:
-		fail(fmt.Errorf("unknown engine %q (want seq or shard)", *engine))
 	}
+	sc.Check = *check
 	pats := []experiments.PatternSpec{{Kind: "uniform"}}
 	if *scaleName == "full" {
 		pats = experiments.Table1Patterns

@@ -46,6 +46,7 @@ func main() {
 	flag.StringVar(&cfg.Partition, "partition", "", "shard partitioner: bfs (locality, default) or roundrobin")
 	flag.StringVar(&cfg.Faults, "faults", "", "fault campaign: spec string (e.g. 'flap@60000:0-1:20000; autoreconfig:10000') or @file.json")
 	flag.Uint64Var(&cfg.FaultSeed, "fault-seed", 0, "seed for the campaign's randomized elements (rand: flaps)")
+	flag.BoolVar(&cfg.Check, "check", false, "enable heavy invariant audits (whole-fabric credit and escape-CDG scans; results are bit-identical)")
 	traceN := flag.Int("packet-trace", 0, "record and print the last N packet lifecycle events")
 	sweep := flag.Bool("sweep", false, "sweep offered load and print the full curve")
 	loadLo := flag.Float64("load-lo", 0.002, "sweep: lowest per-host load")
@@ -53,6 +54,14 @@ func main() {
 	loadN := flag.Int("load-n", 10, "sweep: number of load points")
 	pcfg := prof.Flags()
 	flag.Parse()
+
+	// Reject unsupported flag combinations before any work starts; the
+	// FeatureSet table is the single source of truth for what composes.
+	features := ibasim.FeatureSet{Engine: cfg.Engine, Shards: cfg.Shards, PacketTrace: *traceN > 0, Check: cfg.Check}
+	if err := features.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "ibsim:", err)
+		os.Exit(1)
+	}
 
 	stopProf, err := pcfg.Start()
 	if err != nil {
@@ -107,6 +116,10 @@ func main() {
 	fmt.Printf("offered traffic: %.5f bytes/ns/switch\n", res.OfferedPerSwitch)
 	fmt.Printf("accepted:        %.5f bytes/ns/switch\n", res.AcceptedPerSwitch)
 	fmt.Printf("avg latency:     %.0f ns over %d packets\n", res.AvgLatencyNs, res.PacketsMeasured)
+	if cfg.Check {
+		fmt.Printf("audit:           %d hop checks, %d heavy scans, %d violations\n",
+			res.Audit.HopChecks, res.Audit.HeavyTicks, res.Audit.Violations)
+	}
 	if cfg.Faults != "" {
 		d := res.Degraded
 		fmt.Printf("faults:          %d injected, %d repairs, %d reconfigs\n",

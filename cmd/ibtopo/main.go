@@ -10,20 +10,32 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ibasim/internal/routing"
 	"ibasim/internal/topology"
 )
 
-func main() {
-	switches := flag.Int("switches", 16, "number of switches")
-	hosts := flag.Int("hosts", 4, "hosts per switch")
-	links := flag.Int("links", 4, "inter-switch links per switch")
-	seed := flag.Uint64("seed", 1, "generation seed")
-	mr := flag.Int("mr", 4, "cap for the routing-option census")
-	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of the report")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is main with its environment injected so tests can drive the
+// command end to end: flag errors return 2 (the flag package's own
+// convention), generation/verification failures return 1 after an
+// "ibtopo: ..." line on stderr, success prints the report to stdout
+// and returns 0.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ibtopo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	switches := fs.Int("switches", 16, "number of switches")
+	hosts := fs.Int("hosts", 4, "hosts per switch")
+	links := fs.Int("links", 4, "inter-switch links per switch")
+	seed := fs.Uint64("seed", 1, "generation seed")
+	mr := fs.Int("mr", 4, "cap for the routing-option census")
+	dot := fs.Bool("dot", false, "emit Graphviz DOT instead of the report")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	topo, err := topology.GenerateIrregular(topology.IrregularSpec{
 		NumSwitches:    *switches,
@@ -32,49 +44,50 @@ func main() {
 		Seed:           *seed,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ibtopo:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "ibtopo:", err)
+		return 1
 	}
 
 	if *dot {
-		fmt.Println("graph subnet {")
+		fmt.Fprintln(stdout, "graph subnet {")
 		for _, l := range topo.Links {
-			fmt.Printf("  s%d -- s%d;\n", l.A, l.B)
+			fmt.Fprintf(stdout, "  s%d -- s%d;\n", l.A, l.B)
 		}
-		fmt.Println("}")
-		return
+		fmt.Fprintln(stdout, "}")
+		return 0
 	}
 
 	ud, err := routing.NewUpDown(topo)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ibtopo:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "ibtopo:", err)
+		return 1
 	}
 	det := ud.Tables()
 	if err := routing.VerifyDeadlockFree(det); err != nil {
-		fmt.Fprintln(os.Stderr, "ibtopo: deadlock check FAILED:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "ibtopo: deadlock check FAILED:", err)
+		return 1
 	}
 	fa := routing.NewFA(det)
 
-	fmt.Printf("topology:          %d switches, %d links/switch, %d hosts/switch (seed %d)\n",
+	fmt.Fprintf(stdout, "topology:          %d switches, %d links/switch, %d hosts/switch (seed %d)\n",
 		*switches, *links, *hosts, *seed)
-	fmt.Printf("links:             %d\n", len(topo.Links))
-	fmt.Printf("diameter:          %d\n", topo.Diameter())
-	fmt.Printf("avg distance:      %.3f\n", topo.AvgDistance())
-	fmt.Printf("up*/down* root:    switch %d\n", ud.Root)
+	fmt.Fprintf(stdout, "links:             %d\n", len(topo.Links))
+	fmt.Fprintf(stdout, "diameter:          %d\n", topo.Diameter())
+	fmt.Fprintf(stdout, "avg distance:      %.3f\n", topo.AvgDistance())
+	fmt.Fprintf(stdout, "up*/down* root:    switch %d\n", ud.Root)
 	table, shortest := det.AvgPathLength()
-	fmt.Printf("avg path length:   %.3f table vs %.3f shortest (inflation %.1f%%)\n",
+	fmt.Fprintf(stdout, "avg path length:   %.3f table vs %.3f shortest (inflation %.1f%%)\n",
 		table, shortest, 100*(table/shortest-1))
-	fmt.Printf("escape CDG:        acyclic (deadlock-free)\n")
+	fmt.Fprintf(stdout, "escape CDG:        acyclic (deadlock-free)\n")
 
 	hist := fa.OptionsHistogram(*mr)
 	total := 0
 	for _, c := range hist {
 		total += c
 	}
-	fmt.Printf("routing options (cap %d), share of switch/destination pairs:\n", *mr)
+	fmt.Fprintf(stdout, "routing options (cap %d), share of switch/destination pairs:\n", *mr)
 	for k := 1; k < len(hist); k++ {
-		fmt.Printf("  %d option(s): %6.2f%%\n", k, 100*float64(hist[k])/float64(total))
+		fmt.Fprintf(stdout, "  %d option(s): %6.2f%%\n", k, 100*float64(hist[k])/float64(total))
 	}
+	return 0
 }

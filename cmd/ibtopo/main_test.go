@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// reportGolden is the full report for the paper's standard 16-switch,
+// 4-link geometry at seed 1. The topology generator and up*/down*
+// routing are deterministic, so this output is stable; a drift means
+// the generator, the routing, or the census changed behavior.
+const reportGolden = `topology:          16 switches, 4 links/switch, 4 hosts/switch (seed 1)
+links:             32
+diameter:          3
+avg distance:      1.967
+up*/down* root:    switch 0
+avg path length:   2.092 table vs 1.967 shortest (inflation 6.4%)
+escape CDG:        acyclic (deadlock-free)
+routing options (cap 4), share of switch/destination pairs:
+  1 option(s):  64.17%
+  2 option(s):  22.50%
+  3 option(s):  11.67%
+  4 option(s):   1.67%
+`
+
+func TestReportGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-switches", "16", "-links", "4", "-seed", "1"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if stderr.Len() != 0 {
+		t.Fatalf("unexpected stderr: %s", stderr.String())
+	}
+	if got := stdout.String(); got != reportGolden {
+		t.Fatalf("report drifted:\n--- got ---\n%s--- want ---\n%s", got, reportGolden)
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-switches", "8", "-seed", "1", "-dot"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.HasPrefix(out, "graph subnet {\n") || !strings.HasSuffix(out, "}\n") {
+		t.Fatalf("not a DOT graph:\n%s", out)
+	}
+	// 8 switches × 4 links / 2 endpoints = 16 edges.
+	if edges := strings.Count(out, " -- "); edges != 16 {
+		t.Fatalf("%d edges in DOT output, want 16", edges)
+	}
+}
+
+// TestBadInputsFailLoudly: every invalid invocation must exit
+// non-zero with a diagnostic on stderr and nothing on stdout.
+func TestBadInputsFailLoudly(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+		msg  string // required substring of stderr
+	}{
+		{"unknown-flag", []string{"-nonsense"}, 2, "flag provided but not defined"},
+		{"malformed-value", []string{"-switches", "many"}, 2, "invalid value"},
+		{"zero-switches", []string{"-switches", "0"}, 1, "ibtopo: topology: invalid spec"},
+		{"degree-exceeds-switches", []string{"-switches", "4", "-links", "6"}, 1, "ibtopo: topology: degree 6 impossible"},
+		{"odd-stub-parity", []string{"-switches", "9", "-links", "5"}, 1, "ibtopo: topology:"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.code {
+				t.Fatalf("exit %d, want %d (stderr: %s)", code, tc.code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.msg) {
+				t.Fatalf("stderr %q does not contain %q", stderr.String(), tc.msg)
+			}
+			if stdout.Len() != 0 {
+				t.Fatalf("failed run wrote to stdout: %s", stdout.String())
+			}
+		})
+	}
+}

@@ -1,0 +1,81 @@
+package ibasim
+
+import "fmt"
+
+// FeatureSet names the cross-cutting run features whose combinations
+// are constrained: the execution engine, its shard count, packet
+// tracing, and the invariant auditor's heavy checks. The CLIs and the
+// library API all funnel flag combinations through Validate before
+// building anything, so an unsupported pairing fails up front with
+// one canonical message instead of surfacing mid-run from whichever
+// layer happens to notice first.
+type FeatureSet struct {
+	Engine      string // "", "seq" or "shard"
+	Shards      int    // >1 only meaningful with Engine "shard"
+	PacketTrace bool   // -packet-trace: per-packet lifecycle recorder
+	Check       bool   // -check: heavy invariant scans (compatible with everything)
+}
+
+// featureRule is one row of the compatibility table: a combination
+// predicate and the error it earns. Rows are checked in order; the
+// first match wins, so put the most fundamental conflicts first.
+type featureRule struct {
+	name    string
+	applies func(FeatureSet) bool
+	err     func(FeatureSet) error
+}
+
+// featureRules is the complete compatibility table. Check appears in
+// no row by design: the auditor attaches to the same observer seams
+// on both engines and its heavy ticks run in the control engine's
+// single-threaded phases, so it composes with every other feature —
+// the featureset test pins that absence.
+var featureRules = []featureRule{
+	{
+		name: "engine-known",
+		applies: func(f FeatureSet) bool {
+			switch f.Engine {
+			case "", "seq", "shard":
+				return false
+			}
+			return true
+		},
+		err: func(f FeatureSet) error {
+			return fmt.Errorf("ibasim: unknown engine %q (want seq or shard)", f.Engine)
+		},
+	},
+	{
+		name:    "shards-require-shard-engine",
+		applies: func(f FeatureSet) bool { return f.Shards > 1 && f.Engine != "shard" },
+		err: func(f FeatureSet) error {
+			return fmt.Errorf("ibasim: shards=%d requires engine \"shard\"", f.Shards)
+		},
+	},
+	{
+		// The tracer hangs off the Network-level hooks, which sharded
+		// runs leave to the per-shard observer chain; attaching it
+		// there would race with the shard workers.
+		name:    "trace-requires-sequential",
+		applies: func(f FeatureSet) bool { return f.PacketTrace && f.Engine == "shard" },
+		err: func(f FeatureSet) error {
+			return fmt.Errorf("ibasim: packet tracing requires the sequential engine")
+		},
+	},
+}
+
+// Validate applies the compatibility table and returns the first
+// conflict, or nil when the combination is supported.
+func (f FeatureSet) Validate() error {
+	for _, r := range featureRules {
+		if r.applies(f) {
+			return r.err(f)
+		}
+	}
+	return nil
+}
+
+// features assembles the Config's feature selection; packetTrace is
+// supplied by the entry point (SimulateTraced) rather than the Config.
+func (c Config) features(packetTrace bool) FeatureSet {
+	return FeatureSet{Engine: c.Engine, Shards: c.Shards, PacketTrace: packetTrace, Check: c.Check}
+}

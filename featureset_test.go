@@ -1,0 +1,95 @@
+package ibasim
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestFeatureSetTable walks the compatibility table: every supported
+// combination validates, every conflict fails with its canonical
+// message, and -check composes with everything (the auditor only
+// reads state, so no feature can exclude it).
+func TestFeatureSetTable(t *testing.T) {
+	cases := []struct {
+		name string
+		f    FeatureSet
+		err  string // "" = valid; otherwise required substring
+	}{
+		{"zero", FeatureSet{}, ""},
+		{"seq", FeatureSet{Engine: "seq"}, ""},
+		{"shard-default", FeatureSet{Engine: "shard"}, ""},
+		{"shard-counted", FeatureSet{Engine: "shard", Shards: 4}, ""},
+		{"trace-seq", FeatureSet{Engine: "seq", PacketTrace: true}, ""},
+		{"trace-default-engine", FeatureSet{PacketTrace: true}, ""},
+
+		{"check-seq", FeatureSet{Engine: "seq", Check: true}, ""},
+		{"check-shard", FeatureSet{Engine: "shard", Shards: 3, Check: true}, ""},
+		{"check-trace", FeatureSet{PacketTrace: true, Check: true}, ""},
+
+		{"unknown-engine", FeatureSet{Engine: "warp"}, `unknown engine "warp"`},
+		{"unknown-engine-wins", FeatureSet{Engine: "warp", Shards: 4}, `unknown engine "warp"`},
+		{"shards-on-seq", FeatureSet{Engine: "seq", Shards: 2}, `shards=2 requires engine "shard"`},
+		{"shards-on-default", FeatureSet{Shards: 3}, `shards=3 requires engine "shard"`},
+		{"trace-on-shard", FeatureSet{Engine: "shard", PacketTrace: true}, "packet tracing requires the sequential engine"},
+		{"trace-on-shard-with-check", FeatureSet{Engine: "shard", PacketTrace: true, Check: true}, "packet tracing requires the sequential engine"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.f.Validate()
+			if tc.err == "" {
+				if err != nil {
+					t.Fatalf("Validate(%+v) = %v, want nil", tc.f, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.err) {
+				t.Fatalf("Validate(%+v) = %v, want error containing %q", tc.f, err, tc.err)
+			}
+		})
+	}
+}
+
+// TestCheckHasNoConflictRow pins the design decision that Check is
+// universally compatible: flipping Check on any feature combination
+// must never change the verdict.
+func TestCheckHasNoConflictRow(t *testing.T) {
+	engines := []string{"", "seq", "shard", "warp"}
+	for _, eng := range engines {
+		for _, shards := range []int{0, 1, 2} {
+			for _, tr := range []bool{false, true} {
+				base := FeatureSet{Engine: eng, Shards: shards, PacketTrace: tr}
+				withCheck := base
+				withCheck.Check = true
+				errBase, errCheck := base.Validate(), withCheck.Validate()
+				if (errBase == nil) != (errCheck == nil) {
+					t.Fatalf("Check changed verdict for %+v: %v vs %v", base, errBase, errCheck)
+				}
+			}
+		}
+	}
+}
+
+// TestFeatureValidationUpFront: the library entry points reject bad
+// combinations before building topologies or engines.
+func TestFeatureValidationUpFront(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Engine = "shard"
+	cfg.Shards = 2
+	if _, err := SimulateTraced(cfg, 8, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "packet tracing requires the sequential engine") {
+		t.Fatalf("SimulateTraced on shard engine: %v", err)
+	}
+
+	cfg = DefaultConfig()
+	cfg.Shards = 4 // engine left "" (seq)
+	if _, err := Simulate(cfg); err == nil || !strings.Contains(err.Error(), `requires engine "shard"`) {
+		t.Fatalf("Simulate with orphan shards: %v", err)
+	}
+
+	cfg = DefaultConfig()
+	cfg.Engine = "warp"
+	if _, err := Simulate(cfg); err == nil || !strings.Contains(err.Error(), "unknown engine") {
+		t.Fatalf("Simulate with unknown engine: %v", err)
+	}
+}

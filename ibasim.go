@@ -90,6 +90,13 @@ type Config struct {
 	Shards    int
 	Partition string
 
+	// Check enables the invariant auditor's heavy periodic scans
+	// (whole-fabric credit audit, live-table escape-CDG acyclicity) on
+	// top of the always-on cheap checks. Results are bit-identical
+	// with or without it, on both engines; Result.Audit reports the
+	// verdict.
+	Check bool
+
 	// Ablation knobs (§4.3 and §4.4 design axes). Zero values give
 	// the paper's evaluation setup.
 
@@ -161,6 +168,19 @@ type Result struct {
 	// retries, losses, staged-recovery latency, watchdog verdict).
 	// Zero unless Config.Faults ran a campaign.
 	Degraded Degraded
+
+	// Audit reports the invariant auditor's pass over the run.
+	Audit Audit
+}
+
+// Audit summarizes the invariant auditor: how many per-hop admission
+// checks and heavy whole-fabric scans ran, and what they found.
+type Audit struct {
+	HopChecks  uint64
+	HeavyTicks uint64 // 0 unless Config.Check
+	Violations int
+	// First is the first violation's message ("" when clean).
+	First string
 }
 
 // Degraded reports how a run behaved under a fault campaign.
@@ -225,6 +245,9 @@ type Point struct {
 
 // spec translates the public Config into an internal RunSpec.
 func (c Config) spec() (experiments.RunSpec, error) {
+	if err := c.features(false).Validate(); err != nil {
+		return experiments.RunSpec{}, err
+	}
 	if c.Switches < 2 || c.HostsPerSwitch < 1 || c.LinksPerSwitch < 1 {
 		return experiments.RunSpec{}, fmt.Errorf("ibasim: invalid topology shape %d/%d/%d",
 			c.Switches, c.HostsPerSwitch, c.LinksPerSwitch)
@@ -271,21 +294,17 @@ func (c Config) spec() (experiments.RunSpec, error) {
 		}
 		spec.Fabric.EngineOpts = append(spec.Fabric.EngineOpts, sim.WithScheduler(kind))
 	}
-	switch c.Engine {
-	case "", "seq":
-		if c.Shards > 1 {
-			return experiments.RunSpec{}, fmt.Errorf("ibasim: shards=%d requires engine \"shard\"", c.Shards)
-		}
-	case "shard":
+	// Engine compatibility was already settled by the FeatureSet table
+	// above; here only the shard geometry remains to apply.
+	if c.Engine == "shard" {
 		shards := c.Shards
 		if shards == 0 {
 			shards = 2
 		}
 		spec.Fabric.Shards = shards
 		spec.Fabric.Partition = c.Partition
-	default:
-		return experiments.RunSpec{}, fmt.Errorf("ibasim: unknown engine %q (want seq or shard)", c.Engine)
 	}
+	spec.Check = c.Check
 	if c.Faults != "" {
 		camp, err := faults.Load(c.Faults)
 		if err != nil {
@@ -314,6 +333,12 @@ func resultFrom(res experiments.RunResult) Result {
 		ReorderPeakHeld:    res.ReorderPeakHeld,
 		ReorderAvgDelayNs:  res.ReorderAvgDelayNs,
 		Degraded:           degradedFrom(res.Degraded),
+		Audit: Audit{
+			HopChecks:  res.Audit.HopChecks,
+			HeavyTicks: res.Audit.HeavyTicks,
+			Violations: res.Audit.Violations,
+			First:      res.Audit.First,
+		},
 	}
 }
 
@@ -348,15 +373,12 @@ type TraceResult struct {
 // writing the last `capacity` lifecycle events to w (pass nil to only
 // collect aggregates).
 func SimulateTraced(c Config, capacity int, w io.Writer) (TraceResult, error) {
+	if err := c.features(true).Validate(); err != nil {
+		return TraceResult{}, err
+	}
 	spec, err := c.spec()
 	if err != nil {
 		return TraceResult{}, err
-	}
-	if spec.Fabric.Shards > 1 {
-		// The tracer hangs off the Network-level hooks, which sharded
-		// runs leave to the per-shard observer chain; attaching it there
-		// would race with the shard workers.
-		return TraceResult{}, fmt.Errorf("ibasim: packet tracing requires the sequential engine")
 	}
 	rec := trace.NewRecorder(capacity)
 	res, err := experiments.RunObserved(spec, rec.Attach)

@@ -1,0 +1,49 @@
+package check
+
+import (
+	"ibasim/internal/ib"
+	"ibasim/internal/routing"
+	"ibasim/internal/sim"
+)
+
+// checkEscapeCDG re-verifies Duato's deadlock-freedom condition (§3)
+// against the LIVE forwarding tables: follow the escape slot (LID
+// block base, §4.1) of every switch toward every destination, build
+// the channel dependency graph those hops induce, and demand it stay
+// acyclic. The subnet manager proves this for the tables it COMPUTES
+// (routing.VerifyDeadlockFree); this check proves it for the tables
+// the switches EXECUTE — catching anything that corrupts them after
+// programming (a botched reconfiguration, a misordered slot write).
+//
+// During a staged reconfiguration some switches deliberately run the
+// old table while others run the new one; mixing the two epochs in a
+// single CDG would flag cycles the escape-only drain protocol makes
+// unreachable, so the scan skips ticks where any switch is still in
+// its escape-only transition. Dead switches keep their (stale, still
+// acyclic) tables and need no special case.
+func (a *Auditor) checkEscapeCDG(now sim.Time) {
+	net := a.net
+	for _, sw := range net.Switches {
+		if sw.EscapeOnly() {
+			return
+		}
+	}
+	n := net.Topo.NumSwitches
+	dep := routing.CDGFromNextHops(n, net.Topo.NumHosts(), func(s, h int) (int, bool) {
+		if net.Topo.HostSwitch(h) == s {
+			return 0, false
+		}
+		port := net.Switches[s].Table().Get(net.Plan.BaseLID(h))
+		if port == ib.InvalidPort {
+			return 0, false
+		}
+		return net.NeighborAt(s, port)
+	})
+	if cycle := routing.FindCycle(dep); cycle != nil {
+		a.report(Violation{
+			At:        now,
+			Invariant: InvEscapeCDGAcyclic,
+			Detail:    "live escape tables form a cyclic channel dependency:" + routing.FormatCycle(cycle, n),
+		})
+	}
+}

@@ -1,0 +1,40 @@
+package check_test
+
+import (
+	"testing"
+
+	"ibasim/internal/check"
+	"ibasim/internal/topology"
+)
+
+// TestInjectZeroAllocsWithAuditor extends the fabric's injection
+// alloc gate across the auditor's always-on hooks: with the cheap
+// checks attached (the default in every experiments run), creating a
+// packet, injecting it and running it through to delivery must stay
+// at the slab-refill amortized allocation rate. The hop re-check and
+// the in-order bookkeeping both run on warm, fixed-size state.
+func TestInjectZeroAllocsWithAuditor(t *testing.T) {
+	topo, err := topology.Line(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := buildNet(t, topo, 1, 2, true)
+	check.Attach(net, check.Config{})
+
+	for name, adaptive := range map[string]bool{"adaptive": true, "deterministic": false} {
+		adaptive := adaptive
+		t.Run(name, func(t *testing.T) {
+			h := net.Hosts[0]
+			inject := func() {
+				h.Inject(net.NewPacket(0, 7, 32, adaptive))
+				net.Engine.RunUntilIdle()
+			}
+			for i := 0; i < 600; i++ { // warm pools and span a slab boundary
+				inject()
+			}
+			if allocs := testing.AllocsPerRun(512, inject); allocs > 0.02 {
+				t.Fatalf("steady-state injection with auditor allocates %v objects per packet, want amortized slab refill only", allocs)
+			}
+		})
+	}
+}

@@ -1,0 +1,123 @@
+package check_test
+
+// Metamorphic properties: transformations of a run whose effect on
+// the observables is known a priori — equality or a one-sided
+// inequality — without knowing the right absolute numbers. They catch
+// model bugs that per-event invariants cannot (a plausible-looking
+// result that shifts when it must not).
+
+import (
+	"testing"
+
+	"ibasim/internal/experiments"
+	"ibasim/internal/topology"
+	"ibasim/internal/traffic"
+)
+
+// metaScale is QuickScale with shorter windows; these tests run whole
+// simulations several times over.
+func metaScale() experiments.Scale {
+	sc := experiments.QuickScale()
+	sc.Warmup = 20_000
+	sc.Measure = 80_000
+	sc.DrainGrace = 20_000
+	return sc
+}
+
+func metaTopo(t *testing.T, switches int, seed uint64) *topology.Topology {
+	t.Helper()
+	topo, err := topology.GenerateIrregular(topology.IrregularSpec{
+		NumSwitches: switches, HostsPerSwitch: 4, InterSwitch: 4, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// TestMetamorphicLMCInvariance: widening the LMC relabels every
+// destination into a larger LID block, but at fixed MR the subnet
+// manager fills the extra slots by cycling the SAME adaptive options
+// (§4.1) — so LID addressing is a pure relabeling and every
+// observable must be bit-identical. A drift means LID layout leaked
+// into routing or arbitration somewhere it must not.
+func TestMetamorphicLMCInvariance(t *testing.T) {
+	topo := metaTopo(t, 16, 2)
+	sc := metaScale()
+	pattern := traffic.Uniform{NumHosts: topo.NumHosts()}
+
+	base := sc.Spec(topo, 2, 32, 0.75, pattern, 9, true)
+	base.Traffic.LoadBytesPerNsPerHost = 0.05
+	wide := base
+	wide.LMC = 2 // base.LMC is 1 (lmcFor(MR 2)); 4-slot blocks, same options
+
+	resBase, err := experiments.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resWide, err := experiments.Run(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resBase != resWide {
+		t.Fatalf("LMC widening changed observables:\nLMC1: %+v\nLMC2: %+v", resBase, resWide)
+	}
+}
+
+// TestMetamorphicMRWideningThroughput: at a saturating load, raising
+// MR (more adaptive options per destination) must not reduce accepted
+// traffic — the paper's central claim, Figure 3/Table 1. MR 1 is the
+// degenerate escape-only (deterministic) subnet.
+func TestMetamorphicMRWideningThroughput(t *testing.T) {
+	topo := metaTopo(t, 16, 1)
+	sc := metaScale()
+	pattern := traffic.Uniform{NumHosts: topo.NumHosts()}
+
+	accepted := func(mr int) float64 {
+		spec := sc.Spec(topo, mr, 32, 1, pattern, 4, true)
+		spec.Traffic.LoadBytesPerNsPerHost = 0.08 // past the deterministic knee
+		res, err := experiments.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AcceptedPerSwitch
+	}
+
+	mr1, mr4 := accepted(1), accepted(4)
+	if mr4 < mr1 {
+		t.Fatalf("MR widening reduced throughput: MR1 accepted %.5f, MR4 accepted %.5f", mr1, mr4)
+	}
+}
+
+// TestMetamorphicSeedPermutation: runs with different seeds are
+// independent simulations, so executing them in any order — or
+// interleaved by the sweep's worker pool — must give each seed the
+// identical result. Hidden global state (a shared RNG, a leaked
+// cache) is exactly what this catches.
+func TestMetamorphicSeedPermutation(t *testing.T) {
+	topo := metaTopo(t, 8, 3)
+	sc := metaScale()
+	pattern := traffic.Uniform{NumHosts: topo.NumHosts()}
+	seeds := []uint64{1, 2, 3}
+
+	runSeed := func(seed uint64) experiments.RunResult {
+		spec := sc.Spec(topo, 2, 32, 1, pattern, seed, true)
+		spec.Traffic.LoadBytesPerNsPerHost = 0.04
+		res, err := experiments.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	forward := make(map[uint64]experiments.RunResult)
+	for _, s := range seeds {
+		forward[s] = runSeed(s)
+	}
+	for i := len(seeds) - 1; i >= 0; i-- {
+		s := seeds[i]
+		if again := runSeed(s); again != forward[s] {
+			t.Fatalf("seed %d result depends on run order:\nfirst:  %+v\nsecond: %+v", s, forward[s], again)
+		}
+	}
+}

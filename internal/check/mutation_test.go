@@ -1,0 +1,225 @@
+package check_test
+
+// The mutation smoke suite: each test deliberately breaks one paper
+// rule — through the fabric's Tamper hooks, built for exactly this —
+// and asserts the invariant auditor reports the breach under its
+// expected name. This is the proof that the auditor is not
+// vacuous: a future refactor that introduces one of these bug classes
+// will trip the same named invariant in any -check run.
+
+import (
+	"testing"
+
+	"ibasim/internal/check"
+	"ibasim/internal/fabric"
+	"ibasim/internal/ib"
+	"ibasim/internal/sim"
+	"ibasim/internal/subnet"
+	"ibasim/internal/topology"
+	"ibasim/internal/traffic"
+)
+
+// buildNet wires a configured fabric over topo: address plan with the
+// given LMC, subnet tables with MR routing options, enhanced switches.
+func buildNet(t *testing.T, topo *topology.Topology, lmc uint, mr int, enhanced bool) *fabric.Network {
+	t.Helper()
+	plan, err := ib.NewAddressPlan(topo.NumHosts(), lmc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fabric.DefaultConfig()
+	cfg.AdaptiveSwitches = enhanced
+	net, err := fabric.NewNetwork(topo, plan, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := subnet.Configure(net, subnet.Options{MaxRoutingOptions: mr, Root: -1}); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// irregularNet builds the paper's standard evaluation fabric: a random
+// irregular topology with 4 inter-switch links and 4 hosts per switch.
+func irregularNet(t *testing.T, switches int, lmc uint, mr int) *fabric.Network {
+	t.Helper()
+	topo, err := topology.GenerateIrregular(topology.IrregularSpec{
+		NumSwitches: switches, HostsPerSwitch: 4, InterSwitch: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buildNet(t, topo, lmc, mr, true)
+}
+
+// runTraffic drives a generator workload to genEnd and lets the run
+// drain until horizon.
+func runTraffic(t *testing.T, net *fabric.Network, tc traffic.Config, genEnd, horizon sim.Time) {
+	t.Helper()
+	gen, err := traffic.NewGenerator(net, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Start(genEnd)
+	net.Run(horizon)
+}
+
+// expect asserts the report contains the named invariant and the run
+// was not silently clean.
+func expect(t *testing.T, rep check.Report, invariant string) {
+	t.Helper()
+	if rep.Has(invariant) {
+		return
+	}
+	names := make([]string, 0, len(rep.Violations))
+	for _, v := range rep.Violations {
+		names = append(names, v.Invariant)
+	}
+	t.Fatalf("mutation not detected: want invariant %q, got %d violations %v", invariant, rep.ViolationCount, names)
+}
+
+// TestMutationBaseline pins the suite's control: the exact fabric and
+// workload the mutations corrupt reports ZERO violations when honest,
+// so a detection below can only come from the seeded bug.
+func TestMutationBaseline(t *testing.T) {
+	net := irregularNet(t, 16, 1, 2)
+	aud := check.Attach(net, check.Config{Heavy: true})
+	runTraffic(t, net, traffic.Config{
+		Pattern: traffic.Uniform{NumHosts: net.Topo.NumHosts()}, PacketSize: 256,
+		AdaptiveFraction: 1, LoadBytesPerNsPerHost: 0.06, Seed: 7,
+	}, 60_000, 120_000)
+	rep := aud.Finalize()
+	if rep.ViolationCount != 0 {
+		t.Fatalf("honest run reported %d violations, first: %v", rep.ViolationCount, rep.Err())
+	}
+	if rep.HopChecks == 0 || rep.HeavyTicks == 0 || rep.Created == 0 || rep.Delivered == 0 {
+		t.Fatalf("auditor idle: %+v", rep)
+	}
+}
+
+// Mutation 1: forge credits a transmitter never earned (+delta). The
+// §4.4 counter now exceeds the physical buffer; the heavy scan's
+// bound check c <= CMax catches it.
+func TestMutationForgedCredits(t *testing.T) {
+	net := irregularNet(t, 8, 1, 2)
+	s := 0
+	nb := net.Topo.Neighbors(s)[0]
+	if err := net.TamperCredits(s, nb, 0, +5); err != nil {
+		t.Fatal(err)
+	}
+	aud := check.Attach(net, check.Config{Heavy: true})
+	net.Run(6_000)
+	expect(t, aud.Finalize(), check.InvCreditBound)
+}
+
+// Mutation 2: leak credits (-delta), the classic "drop path forgot to
+// return buffer space" bug. Every runtime bound still holds — only
+// the drained end-state check sees the channel never recover its full
+// credit count. Cheap checks alone (no Heavy) must catch it.
+func TestMutationLeakedCredits(t *testing.T) {
+	net := irregularNet(t, 8, 1, 2)
+	s := 0
+	nb := net.Topo.Neighbors(s)[0]
+	if err := net.TamperCredits(s, nb, 0, -3); err != nil {
+		t.Fatal(err)
+	}
+	aud := check.Attach(net, check.Config{})
+	net.Run(100)
+	expect(t, aud.Finalize(), check.InvCreditsIntact)
+}
+
+// Mutation 3: corrupt a buffer's occupancy counter so it disagrees
+// with the credits its entries actually hold.
+func TestMutationCorruptOccupancy(t *testing.T) {
+	net := irregularNet(t, 8, 1, 2)
+	s := 0
+	nb := net.Topo.Neighbors(s)[0]
+	if err := net.TamperOccupancy(nb, s, 0, +2); err != nil {
+		t.Fatal(err)
+	}
+	aud := check.Attach(net, check.Config{Heavy: true})
+	net.Run(6_000)
+	expect(t, aud.Finalize(), check.InvCreditOccupancy)
+}
+
+// Mutation 4: misorder the §4.1 interleaved table by one slot — every
+// block's escape entry now holds a minimal adaptive hop. Minimal
+// routing on an irregular network carries cyclic channel dependencies,
+// so the live-table escape-CDG scan must flag Duato's condition.
+func TestMutationSwappedTableSlots(t *testing.T) {
+	net := irregularNet(t, 16, 1, 2)
+	net.TamperSwapTableSlots()
+	aud := check.Attach(net, check.Config{Heavy: true})
+	net.Run(6_000)
+	expect(t, aud.Finalize(), check.InvEscapeCDGAcyclic)
+}
+
+// Mutation 5: skip the whole-packet adaptive-room check — admit a
+// packet to an adaptive queue on TOTAL room (C_XY) instead of
+// adaptive room (C_XYA, §4.4). Under congestion packets get admitted
+// into the escape reserve; the per-hop admission re-check fires.
+func TestMutationSkipAdaptiveRoomCheck(t *testing.T) {
+	net := irregularNet(t, 8, 1, 2)
+	net.SetTamper(fabric.Tamper{SkipAdaptiveRoomCheck: true})
+	aud := check.Attach(net, check.Config{})
+	runTraffic(t, net, traffic.Config{
+		Pattern: traffic.Uniform{NumHosts: net.Topo.NumHosts()}, PacketSize: 256,
+		AdaptiveFraction: 1, LoadBytesPerNsPerHost: 0.12, Seed: 3,
+	}, 60_000, 150_000)
+	expect(t, aud.Finalize(), check.InvAdaptiveAdmission)
+}
+
+// Mutation 6: drop the escape fallback — adaptive packets whose
+// options are all busy just wait instead of taking the up*/down*
+// escape path. On a credit cycle (a ring with antipodal traffic, the
+// textbook construction) the adaptive sub-network alone deadlocks;
+// the auditor must call it by name once the event queue starves.
+func TestMutationNoEscapeFallback(t *testing.T) {
+	const n = 8
+	ring := topology.New(n, 1, 3)
+	for i := 0; i < n; i++ {
+		if err := ring.AddLink(i, (i+1)%n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net := buildNet(t, ring, 1, 2, true)
+	net.SetTamper(fabric.Tamper{NoEscapeFallback: true})
+	aud := check.Attach(net, check.Config{Heavy: true})
+	for i := range net.Hosts {
+		h := net.Hosts[i]
+		dst := (h.ID() + n/2) % n
+		h.Engine().Schedule(0, func() {
+			for k := 0; k < 64; k++ {
+				h.Inject(net.NewPacket(h.ID(), dst, 256, true))
+			}
+		})
+	}
+	net.Run(400_000)
+	expect(t, aud.Finalize(), check.InvDeadlock)
+}
+
+// Mutation 7: ignore the §4.2 service-mode bit and route deterministic
+// (DLID LSB 0) packets through their block's adaptive options. Under
+// congestion flows diverge across paths and deliveries overtake; the
+// in-order check fires.
+func TestMutationAdaptiveDeterministic(t *testing.T) {
+	net := irregularNet(t, 16, 2, 4)
+	net.SetTamper(fabric.Tamper{AdaptiveDeterministic: true})
+	aud := check.Attach(net, check.Config{})
+	runTraffic(t, net, traffic.Config{
+		Pattern: traffic.Uniform{NumHosts: net.Topo.NumHosts()}, PacketSize: 256,
+		AdaptiveFraction: 0, LoadBytesPerNsPerHost: 0.12, Seed: 5,
+	}, 60_000, 150_000)
+	expect(t, aud.Finalize(), check.InvDeterministicOrder)
+}
+
+// Mutation 8: misconfigure the credit split so the escape reserve
+// swallows the whole buffer (C_0 = CMax), bypassing Config.Validate.
+// The split well-formedness check runs unconditionally at Finalize.
+func TestMutationIllFormedSplit(t *testing.T) {
+	net := irregularNet(t, 8, 1, 2)
+	net.TamperSplit(16, 16)
+	aud := check.Attach(net, check.Config{})
+	net.Run(100)
+	expect(t, aud.Finalize(), check.InvCreditSplit)
+}

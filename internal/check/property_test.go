@@ -1,0 +1,91 @@
+package check_test
+
+// Property-based conformance: generated geometries and workloads —
+// including a fault campaign with staged reconfiguration — run under
+// the full heavy auditor and must come back clean. The generators
+// explore corners no curated test pins (odd degrees, mixed adaptive
+// fractions, recovering fabrics); the auditor supplies the oracle.
+
+import (
+	"testing"
+
+	"ibasim/internal/experiments"
+	"ibasim/internal/faults"
+	"ibasim/internal/topology"
+	"ibasim/internal/traffic"
+)
+
+// propertySpec builds a short checked run over a generated topology.
+func propertySpec(t *testing.T, switches, links, mr int, topoSeed, seed uint64, frac float64) experiments.RunSpec {
+	t.Helper()
+	topo, err := topology.GenerateIrregular(topology.IrregularSpec{
+		NumSwitches: switches, HostsPerSwitch: 4, InterSwitch: links, Seed: topoSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := metaScale()
+	spec := sc.Spec(topo, mr, 32, frac, traffic.Uniform{NumHosts: topo.NumHosts()}, seed, true)
+	spec.Traffic.LoadBytesPerNsPerHost = 0.05
+	spec.Check = true
+	return spec
+}
+
+// TestPropertyRandomTopologiesAudited sweeps generated configurations
+// across the evaluation envelope; every run must finish with zero
+// violations and a demonstrably active auditor.
+func TestPropertyRandomTopologiesAudited(t *testing.T) {
+	cases := []struct {
+		switches, links, mr int
+		topoSeed, seed      uint64
+		frac                float64
+	}{
+		{8, 4, 2, 11, 1, 1},
+		{16, 4, 4, 12, 2, 0.5},
+		{16, 6, 2, 13, 3, 0.25},
+		{24, 4, 2, 14, 4, 0},
+		{32, 5, 3, 15, 5, 0.9},
+	}
+	for _, c := range cases {
+		spec := propertySpec(t, c.switches, c.links, c.mr, c.topoSeed, c.seed, c.frac)
+		res, err := experiments.Run(spec)
+		if err != nil {
+			t.Fatalf("case %+v: %v", c, err)
+		}
+		if res.Audit.Violations != 0 {
+			t.Fatalf("case %+v: %d violations, first: %s", c, res.Audit.Violations, res.Audit.First)
+		}
+		if res.Audit.HopChecks == 0 || res.Audit.HeavyTicks == 0 {
+			t.Fatalf("case %+v: auditor idle: %+v", c, res.Audit)
+		}
+	}
+}
+
+// TestPropertyFaultCampaignAudited runs a randomized link-flap
+// campaign with staged SM recovery under the heavy auditor: drops,
+// retries and mid-flight reconfigurations must never breach a credit,
+// admission or CDG invariant. (The drained end-state checks stand
+// down here by design — the watchdog shares the engine — so this
+// exercises the runtime checks under the most state transitions.)
+func TestPropertyFaultCampaignAudited(t *testing.T) {
+	spec := propertySpec(t, 16, 4, 2, 21, 6, 0.75)
+	camp, err := faults.Load("rand:2:15000@40000-90000; autoreconfig:8000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Faults = camp
+	spec.FaultSeed = 7
+	res, err := experiments.Run(spec)
+	if err != nil {
+		t.Fatalf("campaign failed: %v", err)
+	}
+	if res.Audit.Violations != 0 {
+		t.Fatalf("campaign run: %d violations, first: %s", res.Audit.Violations, res.Audit.First)
+	}
+	if res.Degraded.WatchdogViolations != 0 {
+		t.Fatalf("watchdog breaches: %d, first: %s", res.Degraded.WatchdogViolations, res.Degraded.FirstViolation)
+	}
+	if res.Degraded.FaultsInjected == 0 || res.Degraded.Reconfigs == 0 {
+		t.Fatalf("campaign did not exercise recovery: %+v", res.Degraded)
+	}
+}

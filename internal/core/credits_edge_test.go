@@ -1,0 +1,112 @@
+package core
+
+import "testing"
+
+// TestCreditSplitEdgeCases pins §4.4's two formulas on the boundary
+// geometries a refactor is most likely to bend:
+//
+//	C_XYA = max(0, C_XY − C_0)
+//	C_XYE = min(C_0, C_XY)
+//
+// odd C_max (integer division places the extra credit in the adaptive
+// region), a packet of exactly C_0 credits, a packet larger than the
+// adaptive half (must be forced onto the escape path), and the
+// zero-credit stall where neither queue admits anything.
+func TestCreditSplitEdgeCases(t *testing.T) {
+	cases := []struct {
+		name       string
+		split      CreditSplit
+		c          int // C_XY, observed availability
+		pkt        int // packet size in credits
+		wantA      int // C_XYA
+		wantE      int // C_XYE
+		wantAdmitA bool
+		wantAdmitE bool
+	}{
+		{
+			// SplitHalf(17) → C_0 = 8, adaptive cap 9: the odd credit
+			// belongs to the adaptive region.
+			name:  "odd-cmax-full",
+			split: SplitHalf(17), c: 17, pkt: 9,
+			wantA: 9, wantE: 8, wantAdmitA: true, wantAdmitE: true,
+		},
+		{
+			name:  "odd-cmax-adaptive-exhausted",
+			split: SplitHalf(17), c: 8, pkt: 1,
+			wantA: 0, wantE: 8, wantAdmitA: false, wantAdmitE: true,
+		},
+		{
+			// Packet of exactly C_0 = CMax/2 credits: admitted adaptively
+			// only when the buffer is completely free.
+			name:  "packet-exactly-half-free-buffer",
+			split: SplitHalf(16), c: 16, pkt: 8,
+			wantA: 8, wantE: 8, wantAdmitA: true, wantAdmitE: true,
+		},
+		{
+			name:  "packet-exactly-half-one-credit-used",
+			split: SplitHalf(16), c: 15, pkt: 8,
+			wantA: 7, wantE: 8, wantAdmitA: false, wantAdmitE: true,
+		},
+		{
+			// Packet larger than the adaptive half can NEVER go adaptive
+			// — the whole-packet VCT rule forces the escape path even
+			// with the buffer idle.
+			name:  "packet-larger-than-adaptive-half",
+			split: SplitHalf(16), c: 16, pkt: 9,
+			wantA: 8, wantE: 8, wantAdmitA: false, wantAdmitE: true,
+		},
+		{
+			// Asymmetric ablation split: escape reserve 3 of 10, so the
+			// adaptive region holds 7.
+			name:  "asymmetric-split",
+			split: CreditSplit{CMax: 10, CEscape: 3}, c: 6, pkt: 3,
+			wantA: 3, wantE: 3, wantAdmitA: true, wantAdmitE: true,
+		},
+		{
+			// Zero credits: both formulas bottom out, nothing is
+			// admitted anywhere — the stall state.
+			name:  "zero-credit-stall",
+			split: SplitHalf(16), c: 0, pkt: 1,
+			wantA: 0, wantE: 0, wantAdmitA: false, wantAdmitE: false,
+		},
+		{
+			name:  "escape-reserve-only",
+			split: SplitHalf(16), c: 4, pkt: 4,
+			wantA: 0, wantE: 4, wantAdmitA: false, wantAdmitE: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.split
+			if got := s.Adaptive(tc.c); got != tc.wantA {
+				t.Errorf("Adaptive(%d) = %d, want %d", tc.c, got, tc.wantA)
+			}
+			if got := s.Escape(tc.c); got != tc.wantE {
+				t.Errorf("Escape(%d) = %d, want %d", tc.c, got, tc.wantE)
+			}
+			if got := s.CanUseAdaptive(tc.c, tc.pkt); got != tc.wantAdmitA {
+				t.Errorf("CanUseAdaptive(%d, %d) = %v, want %v", tc.c, tc.pkt, got, tc.wantAdmitA)
+			}
+			if got := s.CanUseEscape(tc.c, tc.pkt); got != tc.wantAdmitE {
+				t.Errorf("CanUseEscape(%d, %d) = %v, want %v", tc.c, tc.pkt, got, tc.wantAdmitE)
+			}
+			// The paper's formulas verbatim, against the implementation.
+			wantA := tc.c - s.CEscape
+			if wantA < 0 {
+				wantA = 0
+			}
+			wantE := s.CEscape
+			if tc.c < wantE {
+				wantE = tc.c
+			}
+			if s.Adaptive(tc.c) != wantA || s.Escape(tc.c) != wantE {
+				t.Errorf("formula mismatch: C_XYA=%d want max(0,%d-%d)=%d, C_XYE=%d want min(%d,%d)=%d",
+					s.Adaptive(tc.c), tc.c, s.CEscape, wantA, s.Escape(tc.c), s.CEscape, tc.c, wantE)
+			}
+			// Partition identity: the two regions tile the availability.
+			if s.Adaptive(tc.c)+s.Escape(tc.c) != tc.c {
+				t.Errorf("C_XYA + C_XYE = %d, want C_XY = %d", s.Adaptive(tc.c)+s.Escape(tc.c), tc.c)
+			}
+		})
+	}
+}

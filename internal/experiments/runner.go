@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"ibasim/internal/check"
 	"ibasim/internal/fabric"
 	"ibasim/internal/faults"
 	"ibasim/internal/ib"
@@ -53,6 +54,13 @@ type RunSpec struct {
 	// the Fabric config left it zero.
 	Faults    *faults.Campaign
 	FaultSeed uint64
+
+	// Check enables the invariant auditor's heavy periodic scans
+	// (whole-fabric credit audit, live-table escape-CDG acyclicity) in
+	// addition to the always-on cheap checks. The scans only read
+	// state, so results — including the Figure 3 golden hash — are
+	// bit-identical with or without it, on both engines.
+	Check bool
 }
 
 // RunResult is the paper's pair of observables plus bookkeeping.
@@ -75,6 +83,20 @@ type RunResult struct {
 	// Degraded-mode observables; all zero unless RunSpec.Faults ran a
 	// campaign.
 	Degraded DegradedStats
+
+	// Audit summarizes the invariant auditor's pass over the run.
+	Audit AuditStats
+}
+
+// AuditStats condenses the auditor's report for result plumbing. The
+// counters are engine-invariant: hop checks count forwarding
+// decisions, which the sharded engine reproduces bit-exactly.
+type AuditStats struct {
+	HopChecks  uint64
+	HeavyTicks uint64 // 0 unless RunSpec.Check
+	Violations int
+	// First is the first violation's message ("" when clean).
+	First string
 }
 
 // DegradedStats reports how a run behaved under a fault campaign.
@@ -149,6 +171,10 @@ func RunObserved(spec RunSpec, observe func(*fabric.Network)) (RunResult, error)
 	if observe != nil {
 		observe(net)
 	}
+	// The invariant auditor's cheap checks ride along on every run; it
+	// chains last so collector and observe-installed tracers keep their
+	// hooks. Heavy whole-fabric scans only with spec.Check.
+	aud := check.Attach(net, check.Config{Heavy: spec.Check})
 	var inj *faults.Injector
 	var dog *faults.Watchdog
 	if spec.Faults != nil {
@@ -202,6 +228,16 @@ func RunObserved(spec RunSpec, observe func(*fabric.Network)) (RunResult, error)
 		if err := inj.Err(); err != nil {
 			return res, err
 		}
+	}
+	arep := aud.Finalize()
+	res.Audit = AuditStats{
+		HopChecks:  arep.HopChecks,
+		HeavyTicks: arep.HeavyTicks,
+		Violations: int(arep.ViolationCount),
+	}
+	if err := arep.Err(); err != nil {
+		res.Audit.First = err.Error()
+		return res, err
 	}
 	// Hand the drained queue storage back to the sweep's arena — every
 	// engine's, shard queues included (no-op unless the spec carried
@@ -319,6 +355,10 @@ type Scale struct {
 	// when empty).
 	Shards    int
 	Partition string
+
+	// Check enables the invariant auditor's heavy scans on every run
+	// (the -check CLI flag); results stay bit-identical.
+	Check bool
 }
 
 // QuickScale is sized for smoke tests and benchmarks.
@@ -389,7 +429,8 @@ func (sc Scale) Spec(topo *topology.Topology, mr, pktSize int, adaptiveFrac floa
 		Fabric:  fcfg,
 		Traffic: traffic.Config{Pattern: pattern, PacketSize: pktSize, AdaptiveFraction: adaptiveFrac, LoadBytesPerNsPerHost: sc.LoadLo, Seed: seed},
 		Warmup:  sc.Warmup, Measure: sc.Measure, DrainGrace: sc.DrainGrace,
-		Seed: seed,
+		Seed:  seed,
+		Check: sc.Check,
 	}
 }
 

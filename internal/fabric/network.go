@@ -54,6 +54,11 @@ type Network struct {
 	// and control contexts. All zero on a fault-free run. Sharded runs
 	// keep per-shard counters too; FaultTotals sums everything.
 	Faults FaultStats
+
+	// tamper holds the mutation-suite fault model (see tamper.go). Zero
+	// in every real run; the forwarding path reads it with plain bool
+	// tests so honest runs pay nothing.
+	tamper Tamper
 }
 
 // DropReason classifies why the fabric discarded a packet.

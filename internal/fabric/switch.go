@@ -166,6 +166,14 @@ func (sw *Switch) receive(port ib.PortID, vl int, pkt *ib.Packet) {
 			sw.dropUnroutable(port, vl, pkt)
 			return
 		}
+		if sw.net.tamper.AdaptiveDeterministic && len(adaptive) == 0 && sw.table.LMC() > 0 {
+			// Mutation model: the service-mode bit is ignored, so a
+			// deterministic DLID fetches its block's adaptive options
+			// too (DLID|1 stays inside the 2^LMC-aligned block).
+			if esc2, ad2, err2 := sw.table.Lookup(pkt.DLID | 1); err2 == nil {
+				escape, adaptive = esc2, ad2
+			}
+		}
 		e.escape, e.adaptive = escape, adaptive
 		if !sw.net.Cfg.Selection.AtArbitration {
 			sw.selectImmediate(e)
@@ -244,12 +252,23 @@ func (sw *Switch) adaptiveCandidates(e *bufEntry, now sim.Time) []core.Candidate
 				c.Eligible = o.free(now) && sw.net.Cfg.Split.CanUseEscape(avail, pktCredits)
 			} else {
 				c.AdaptiveCredits = sw.net.Cfg.Split.Adaptive(avail)
-				c.Eligible = o.free(now) && sw.net.Cfg.Split.CanUseAdaptive(avail, pktCredits)
+				c.Eligible = o.free(now) && sw.adaptiveRoom(avail, pktCredits)
 			}
 		}
 		cands[i] = c
 	}
 	return cands
+}
+
+// adaptiveRoom is the §4.4 adaptive-admission condition: the adaptive
+// region of the next hop's buffer must hold the whole packet,
+// C_XYA = max(0, C_XY − C_0) >= pktCredits. The tamper flag swaps in
+// the (wrong) total-room condition for the mutation suite.
+func (sw *Switch) adaptiveRoom(avail, pktCredits int) bool {
+	if sw.net.tamper.SkipAdaptiveRoomCheck {
+		return sw.net.Cfg.Split.CanUseEscape(avail, pktCredits)
+	}
+	return sw.net.Cfg.Split.CanUseAdaptive(avail, pktCredits)
 }
 
 // escapeUsable reports whether the escape option of an entry can fire
@@ -343,7 +362,7 @@ func (sw *Switch) chooseOutput(e *bufEntry, now sim.Time) (out ib.PortID, asAdap
 		pktCredits := e.pkt.Credits()
 		usable := sw.net.Cfg.Split.CanUseEscape(avail, pktCredits)
 		if e.chosenIsAdaptive && o.peerHost == nil {
-			usable = sw.net.Cfg.Split.CanUseAdaptive(avail, pktCredits)
+			usable = sw.adaptiveRoom(avail, pktCredits)
 		}
 		if !usable {
 			return 0, false, false
@@ -354,10 +373,16 @@ func (sw *Switch) chooseOutput(e *bufEntry, now sim.Time) (out ib.PortID, asAdap
 	// for minimal paths, §3), escape as fallback. The staged-reconfig
 	// transient (escapeOnly) suppresses adaptive moves computed from a
 	// stale table.
-	if e.pkt.Adaptive && len(e.adaptive) > 0 && sw.enhanced && !sw.escapeOnly {
+	adaptivePkt := e.pkt.Adaptive || sw.net.tamper.AdaptiveDeterministic
+	if adaptivePkt && len(e.adaptive) > 0 && sw.enhanced && !sw.escapeOnly {
 		cands := sw.adaptiveCandidates(e, now)
 		if i := core.PickAdaptive(sw.net.Cfg.Selection, cands, sw.net.rng); i >= 0 {
 			return cands[i].Port, true, true
+		}
+		if sw.net.tamper.NoEscapeFallback {
+			// Mutation model: the §4.4 escape fallback is dropped —
+			// a blocked adaptive packet just waits for adaptive room.
+			return 0, false, false
 		}
 	}
 	if sw.escapeUsable(e, now) {

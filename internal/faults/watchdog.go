@@ -87,49 +87,36 @@ type Watchdog struct {
 	net *fabric.Network
 	cfg WatchdogConfig
 
-	running    bool
-	tickFn     func()
+	ticker     *sim.Ticker
 	sigs       map[bufKey]*bufSig
 	violations []Violation
-	samples    uint64
 }
 
 // NewWatchdog builds a watchdog for net. Call Start to begin sampling.
 func NewWatchdog(net *fabric.Network, cfg WatchdogConfig) *Watchdog {
-	return &Watchdog{
+	w := &Watchdog{
 		net:  net,
 		cfg:  cfg.withDefaults(),
 		sigs: make(map[bufKey]*bufSig),
 	}
+	w.ticker = sim.NewTicker(net.Engine, w.cfg.SampleEvery, w.tick)
+	return w
 }
 
 // Start schedules the first audit tick.
-func (w *Watchdog) Start() {
-	if w.running {
-		return
-	}
-	w.running = true
-	w.tickFn = w.tick
-	w.net.Engine.Schedule(w.cfg.SampleEvery, w.tickFn)
-}
+func (w *Watchdog) Start() { w.ticker.Start() }
 
 // Stop prevents further ticks (the one already scheduled becomes a
 // no-op).
-func (w *Watchdog) Stop() { w.running = false }
+func (w *Watchdog) Stop() { w.ticker.Stop() }
 
 // Violations returns the recorded invariant breaches (capped at 64).
 func (w *Watchdog) Violations() []Violation { return w.violations }
 
 // Samples returns how many audit ticks have run.
-func (w *Watchdog) Samples() uint64 { return w.samples }
+func (w *Watchdog) Samples() uint64 { return w.ticker.Ticks() }
 
-func (w *Watchdog) tick() {
-	if !w.running {
-		return
-	}
-	w.samples++
-	now := w.net.Engine.Now()
-
+func (w *Watchdog) tick(now sim.Time) (stop bool) {
 	if err := w.net.CheckCreditConservation(); err != nil {
 		w.report(Violation{At: now, Kind: "credit-conservation", Detail: err.Error()})
 	}
@@ -149,10 +136,9 @@ func (w *Watchdog) tick() {
 				Detail: fmt.Sprintf("event queue empty with %d packets in flight", inFlight),
 			})
 		}
-		w.running = false
-		return
+		return true
 	}
-	w.net.Engine.Schedule(w.cfg.SampleEvery, w.tickFn)
+	return false
 }
 
 // checkProgress compares every service point's signature against the

@@ -15,26 +15,38 @@ import "fmt"
 // may request c2 next, i.e. when the deterministic tables route some
 // destination over c1 = (s, m) and then c2 = (m, x).
 
-// channelID encodes the directed link a->b of an n-switch topology.
-func channelID(a, b, n int) int { return a*n + b }
+// ChannelID encodes the directed link a->b of an n-switch topology as
+// a single integer. FindCycle results over CDGs built with it decode
+// with (c/n, c%n); FormatCycle renders them.
+func ChannelID(a, b, n int) int { return a*n + b }
 
-// EscapeCDG builds the dependency adjacency of the escape network:
-// dep[c1] lists the channels some packet can request while holding c1.
-func EscapeCDG(det *Deterministic) map[int][]int {
-	n := det.UD.Topo.NumSwitches
+// channelID is the package-internal alias kept for existing callers.
+func channelID(a, b, n int) int { return ChannelID(a, b, n) }
+
+// CDGFromNextHops builds a channel dependency graph from an arbitrary
+// next-hop relation: for every destination d in [0, numDests) and
+// switch s, next(s, d) returns the next switch on the escape path
+// toward d, with ok=false when s does not forward d further (s is the
+// destination's switch, or has no route). A packet holding channel
+// (s, m) that must travel on to x induces the dependency
+// (s→m) → (m→x). The runtime auditor uses this against the LIVE
+// forwarding tables (destinations are hosts, next hops read from the
+// programmed escape slots); EscapeCDG uses it against a computed
+// up*/down* routing (destinations are switches).
+func CDGFromNextHops(numSwitches, numDests int, next func(s, d int) (int, bool)) map[int][]int {
 	depSet := make(map[int]map[int]bool)
-	for s := 0; s < n; s++ {
-		for d := 0; d < n; d++ {
-			if s == d {
+	for d := 0; d < numDests; d++ {
+		for s := 0; s < numSwitches; s++ {
+			m, ok := next(s, d)
+			if !ok {
 				continue
 			}
-			m := det.NextHop[s][d]
-			if m == d {
+			x, ok := next(m, d)
+			if !ok {
 				continue // delivered at m, no further channel needed
 			}
-			x := det.NextHop[m][d]
-			c1 := channelID(s, m, n)
-			c2 := channelID(m, x, n)
+			c1 := ChannelID(s, m, numSwitches)
+			c2 := ChannelID(m, x, numSwitches)
 			if depSet[c1] == nil {
 				depSet[c1] = make(map[int]bool)
 			}
@@ -48,6 +60,18 @@ func EscapeCDG(det *Deterministic) map[int][]int {
 		}
 	}
 	return dep
+}
+
+// EscapeCDG builds the dependency adjacency of the escape network:
+// dep[c1] lists the channels some packet can request while holding c1.
+func EscapeCDG(det *Deterministic) map[int][]int {
+	n := det.UD.Topo.NumSwitches
+	return CDGFromNextHops(n, n, func(s, d int) (int, bool) {
+		if s == d {
+			return 0, false
+		}
+		return det.NextHop[s][d], true
+	})
 }
 
 // FindCycle returns a cycle in the dependency graph as a channel-ID
@@ -124,10 +148,15 @@ func VerifyDeadlockFreeAll(dets []*Deterministic) error {
 	if cycle == nil {
 		return nil
 	}
-	n := dets[0].UD.Topo.NumSwitches
-	out := "routing: escape CDG cycle:"
+	return fmt.Errorf("routing: escape CDG cycle:%s", FormatCycle(cycle, dets[0].UD.Topo.NumSwitches))
+}
+
+// FormatCycle renders a FindCycle result over ChannelID-encoded
+// channels as " (a->b) (b->c) ..." for diagnostics.
+func FormatCycle(cycle []int, n int) string {
+	out := ""
 	for _, c := range cycle {
 		out += fmt.Sprintf(" (%d->%d)", c/n, c%n)
 	}
-	return fmt.Errorf("%s", out)
+	return out
 }

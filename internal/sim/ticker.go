@@ -1,0 +1,77 @@
+package sim
+
+// Ticker drives a recurring callback on the simulation clock — the
+// shared scheduling skeleton of the fault watchdog and the invariant
+// auditor. The callback decides termination: returning stop=true ends
+// the ticker, and a stopped ticker leaves no event behind (Stop turns
+// an already-scheduled fire into a no-op that does not reschedule).
+//
+// A self-auditing component cannot simply tick forever: once the rest
+// of the simulation drains, its own tick would be the only event left
+// and an unbounded run would never return. The standard callback
+// pattern is therefore "check invariants; report; return stop=true
+// when nothing else is pending" (see faults.Watchdog and check.Auditor).
+type Ticker struct {
+	eng    *Engine
+	period Time
+	tick   func(now Time) (stop bool)
+
+	running   bool
+	scheduled bool // a fire event is sitting in the engine queue
+	ticks     uint64
+	fn        func()
+}
+
+// NewTicker builds a ticker firing tick every period on eng. Call
+// Start to schedule the first fire.
+func NewTicker(eng *Engine, period Time, tick func(now Time) (stop bool)) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{eng: eng, period: period, tick: tick}
+	t.fn = t.fire
+	return t
+}
+
+// Start schedules the first tick one period from now. Starting a
+// running ticker is a no-op; a stopped ticker may be restarted.
+func (t *Ticker) Start() {
+	if t.running {
+		return
+	}
+	t.running = true
+	if !t.scheduled {
+		t.schedule()
+	}
+}
+
+// Stop prevents further ticks. An already-scheduled fire becomes a
+// no-op (the event still occupies the queue until its timestamp).
+func (t *Ticker) Stop() { t.running = false }
+
+// Ticks returns how many times the callback has run.
+func (t *Ticker) Ticks() uint64 { return t.ticks }
+
+// Scheduled reports whether a fire event is currently sitting in the
+// engine queue — Pending-event accounting that wants to exclude the
+// ticker's own bookkeeping (e.g. "is anything besides the auditor
+// still alive?") subtracts it.
+func (t *Ticker) Scheduled() bool { return t.scheduled }
+
+func (t *Ticker) schedule() {
+	t.scheduled = true
+	t.eng.Schedule(t.period, t.fn)
+}
+
+func (t *Ticker) fire() {
+	t.scheduled = false
+	if !t.running {
+		return
+	}
+	t.ticks++
+	if t.tick(t.eng.Now()) {
+		t.running = false
+		return
+	}
+	t.schedule()
+}

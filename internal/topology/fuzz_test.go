@@ -1,0 +1,60 @@
+package topology_test
+
+// FuzzIrregularTopology lives outside the package so it can close the
+// loop through the routing layer: topology cannot import routing (the
+// dependency points the other way), but the property worth fuzzing is
+// end to end — every generated graph must route deadlock-free.
+
+import (
+	"testing"
+
+	"ibasim/internal/routing"
+	"ibasim/internal/topology"
+)
+
+// FuzzIrregularTopology fuzzes the paper's random irregular generator
+// (§5.1) over its whole evaluation envelope: any (switches, links,
+// seed) in range must produce a connected, exactly links-regular
+// simple graph whose up*/down* escape tables pass Duato's acyclicity
+// condition. The corpus seeds are the Figure 3 geometries (8–64
+// switches, 4 links) plus Table 2's 6-link variant, so a plain `go
+// test` replays them as regression cases.
+func FuzzIrregularTopology(f *testing.F) {
+	for _, sw := range []int{8, 16, 32, 64} {
+		f.Add(sw, 4, uint64(1))
+	}
+	f.Add(16, 6, uint64(3))
+	f.Fuzz(func(t *testing.T, switches, links int, seed uint64) {
+		if switches < 8 || switches > 64 || links < 2 || links > 6 {
+			t.Skip("outside the paper's geometry envelope")
+		}
+		if links >= switches || switches*links%2 != 0 {
+			t.Skip("no regular graph exists (degree or stub parity)")
+		}
+		spec := topology.IrregularSpec{
+			NumSwitches: switches, HostsPerSwitch: 4, InterSwitch: links, Seed: seed,
+		}
+		topo, err := topology.GenerateIrregular(spec)
+		if err != nil {
+			t.Fatalf("feasible spec %+v rejected: %v", spec, err)
+		}
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("spec %+v: %v", spec, err)
+		}
+		if !topo.Connected() {
+			t.Fatalf("spec %+v: disconnected", spec)
+		}
+		for s := 0; s < topo.NumSwitches; s++ {
+			if d := topo.Degree(s); d != links {
+				t.Fatalf("spec %+v: switch %d degree %d, want %d (regular)", spec, s, d, links)
+			}
+		}
+		ud, err := routing.NewUpDown(topo)
+		if err != nil {
+			t.Fatalf("spec %+v: up*/down* failed: %v", spec, err)
+		}
+		if err := routing.VerifyDeadlockFree(ud.Tables()); err != nil {
+			t.Fatalf("spec %+v: escape CDG cyclic: %v", spec, err)
+		}
+	})
+}

@@ -15,11 +15,25 @@ go build ./...
 echo "==> go test -race"
 go test -race ./...
 
+echo "==> go test -shuffle=on (order-independence of the suite)"
+go test -shuffle=on ./...
+
 echo "==> alloc-regression gates (hot path must not allocate)"
-go test -run 'ZeroAllocs' -v ./internal/core/ ./internal/sim/ ./internal/fabric/
+# The always-on auditor's cheap hooks ride the same runs: this gate
+# also proves they keep the steady-state injection path allocation-free.
+go test -run 'ZeroAllocs' -v ./internal/core/ ./internal/sim/ ./internal/fabric/ ./internal/check/
 
 echo "==> determinism golden (sequential and sharded engines)"
 go test -run 'TestFigure3Deterministic|TestFigure3GoldenSharded' -v ./internal/experiments/
+
+echo "==> determinism golden under -check (auditor must not perturb results)"
+go test -count=1 -run 'TestFigure3GoldenChecked' -v ./internal/experiments/
+
+echo "==> mutation smoke (every seeded model break trips its named invariant)"
+go test -count=1 -run 'TestMutation' -v ./internal/check/
+
+echo "==> topology fuzz corpus (Figure 3 geometries route deadlock-free)"
+go test -run '^$' -fuzz 'FuzzIrregularTopology' -fuzztime 5s ./internal/topology/
 
 echo "==> scheduler equivalence (calendar vs heap differential)"
 go test -run 'TestEventQueueDifferential|TestEngineSchedulersEquivalent' -v ./internal/sim/
