@@ -46,6 +46,25 @@ func BenchmarkFigure3(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure3Unfused regenerates the same panel with hop fusion
+// off (-fuse=false): the per-hop event oracle. The delta against
+// BenchmarkFigure3 is the end-to-end win of the fused hot path;
+// scripts/bench.sh records both in BENCH_fusion.{txt,json}.
+func BenchmarkFigure3Unfused(b *testing.B) {
+	sc := benchScale()
+	sc.Unfused = true
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3(sc, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Write(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFigure3Shards regenerates the Figure 3 panel on a
 // 64-switch fabric under each engine: the sequential baseline, then
 // the conservative-parallel engine at 2/4/8 shards. Results are

@@ -85,6 +85,7 @@ func main() {
 	shards := flag.Int("shards", 0, "shard count for -engine shard (default 2; clamped to the switch count)")
 	partition := flag.String("partition", "", "shard partitioner: bfs (locality, default) or roundrobin")
 	check := flag.Bool("check", false, "enable heavy invariant audits on every run (results are bit-identical)")
+	fuse := flag.Bool("fuse", true, "hop-fusion fast path; -fuse=false runs the per-hop event engine (results are bit-identical)")
 	faultSpec := flag.String("faults", "rand:4:15000@50000-150000; autoreconfig:10000", "faults: campaign spec string or @file.json")
 	faultSeed := flag.Uint64("fault-seed", 1, "faults: seed for the campaign's randomized elements")
 	pcfg := prof.Flags()
@@ -162,6 +163,7 @@ func main() {
 		sc.Partition = *partition
 	}
 	sc.Check = *check
+	sc.Unfused = !*fuse
 	pats := []experiments.PatternSpec{{Kind: "uniform"}}
 	if *scaleName == "full" {
 		pats = experiments.Table1Patterns

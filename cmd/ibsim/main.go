@@ -47,6 +47,7 @@ func main() {
 	flag.StringVar(&cfg.Faults, "faults", "", "fault campaign: spec string (e.g. 'flap@60000:0-1:20000; autoreconfig:10000') or @file.json")
 	flag.Uint64Var(&cfg.FaultSeed, "fault-seed", 0, "seed for the campaign's randomized elements (rand: flaps)")
 	flag.BoolVar(&cfg.Check, "check", false, "enable heavy invariant audits (whole-fabric credit and escape-CDG scans; results are bit-identical)")
+	flag.BoolVar(&cfg.Fuse, "fuse", cfg.Fuse, "hop-fusion fast path; -fuse=false runs the per-hop event engine (results are bit-identical)")
 	traceN := flag.Int("packet-trace", 0, "record and print the last N packet lifecycle events")
 	sweep := flag.Bool("sweep", false, "sweep offered load and print the full curve")
 	loadLo := flag.Float64("load-lo", 0.002, "sweep: lowest per-host load")

@@ -97,6 +97,15 @@ type Config struct {
 	// verdict.
 	Check bool
 
+	// Fuse arms the hop-fusion fast path (on in DefaultConfig): the
+	// uncongested arrival→route→arbitrate→depart chain of a hop runs
+	// as one fused dispatch instead of a string of delay-0 events.
+	// Results are bit-identical either way; turning it off (the
+	// -fuse=false CLI flag) keeps the per-hop event engine as the
+	// differential oracle. Fusion disarms itself at runtime whenever a
+	// packet tracer or tamper model needs to observe individual hops.
+	Fuse bool
+
 	// Ablation knobs (§4.3 and §4.4 design axes). Zero values give
 	// the paper's evaluation setup.
 
@@ -140,6 +149,7 @@ func DefaultConfig() Config {
 		MeasureNs:        250_000,
 		DrainNs:          50_000,
 		Seed:             1,
+		Fuse:             true,
 	}
 }
 
@@ -269,6 +279,7 @@ func (c Config) spec() (experiments.RunSpec, error) {
 	sc.Warmup = simTime(c.WarmupNs)
 	sc.Measure = simTime(c.MeasureNs)
 	sc.DrainGrace = simTime(c.DrainNs)
+	sc.Unfused = !c.Fuse
 	mr := c.RoutingOptions
 	if c.SourceMultipath > mr {
 		mr = c.SourceMultipath // the LID block must hold every path

@@ -83,3 +83,29 @@ func TestFigure3GoldenSharded(t *testing.T) {
 		}
 	}
 }
+
+// TestFigure3GoldenUnfused pins the -fuse=false oracle engine to the
+// same golden hash: hop fusion is a scheduling optimization, so fused
+// (the default artifact test above) and unfused builds must both
+// reproduce the committed bytes exactly.
+func TestFigure3GoldenUnfused(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a QuickScale sweep")
+	}
+	sc := QuickScale()
+	sc.Sizes = []int{8}
+	sc.Topologies = 1
+	sc.Unfused = true
+	res, err := Figure3(sc, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	if got := hex.EncodeToString(sum[:]); got != figure3Golden {
+		t.Fatalf("unfused artifact hash %s, want golden %s (fusion changed results)", got, figure3Golden)
+	}
+}

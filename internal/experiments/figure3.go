@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"ibasim/internal/fabric"
 	"ibasim/internal/traffic"
 )
 
@@ -36,12 +37,16 @@ func Figure3(sc Scale, switches int) (*Figure3Result, error) {
 	topo := topos[0]
 	loads := DefaultLoads(sc.LoadLo, sc.LoadHi, sc.LoadPoints)
 	res := &Figure3Result{Switches: switches}
+	// One packet arena for the whole panel: each fraction's sweep
+	// reuses the previous one's packet blocks (see LoadSweep).
+	pktArena := fabric.NewPacketArena()
 	for _, frac := range Figure3Fractions {
 		pattern := traffic.Uniform{NumHosts: topo.NumHosts()}
 		// Switches stay enhanced throughout; the share of packets
 		// requesting adaptive service is what varies (§4.2: the
 		// source enables adaptivity per packet).
 		spec := sc.Spec(topo, 2, 32, frac, pattern, sc.FirstSeed, true)
+		spec.Fabric.PacketArena = pktArena
 		points, err := LoadSweep(spec, loads)
 		if err != nil {
 			return nil, err

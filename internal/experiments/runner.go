@@ -165,7 +165,7 @@ func RunObserved(spec RunSpec, observe func(*fabric.Network)) (RunResult, error)
 	col := &metrics.Collector{
 		WarmupEnd:  spec.Warmup,
 		MeasureEnd: spec.Warmup + spec.Measure,
-		Reorder:    reorder.NewBuffer(),
+		Reorder:    reorder.NewBufferForHosts(spec.Topo.NumHosts()),
 	}
 	col.Attach(net)
 	if observe != nil {
@@ -282,9 +282,20 @@ func LoadSweep(spec RunSpec, loads []float64) ([]SweepPoint, error) {
 	// storage between points freely; results stay bit-identical (the
 	// scheduler is unchanged, only its allocation source).
 	arena := sim.NewQueueArena()
+	// Packet slab blocks recycle the same way (the sweep's dominant
+	// allocation); by the time Recycle runs every observer of the
+	// finished point has drained, so no packet reference survives.
+	// Multi-sweep experiments (Figure 3's per-fraction series) pass one
+	// arena in via the spec so blocks carry across sweeps — points
+	// within one sweep run concurrently and mostly miss each other.
+	pktArena := spec.Fabric.PacketArena
+	if pktArena == nil {
+		pktArena = fabric.NewPacketArena()
+	}
 	return runParallel(len(loads), func(i int) (SweepPoint, error) {
 		s := spec
 		s.Traffic.LoadBytesPerNsPerHost = loads[i]
+		s.Fabric.PacketArena = pktArena
 		s.Fabric.EngineOpts = append(append([]sim.EngineOption{}, s.Fabric.EngineOpts...),
 			sim.WithCapacityHint(256*s.Topo.NumSwitches), sim.WithArena(arena))
 		res, err := Run(s)
@@ -359,6 +370,12 @@ type Scale struct {
 	// Check enables the invariant auditor's heavy scans on every run
 	// (the -check CLI flag); results stay bit-identical.
 	Check bool
+
+	// Unfused disables the hop-fusion fast path (the -fuse=false CLI
+	// flag), keeping every coalesced pass as a scheduled delay-0 event.
+	// Results stay bit-identical either way; the unfused engine is the
+	// differential oracle the fusion conformance tests compare against.
+	Unfused bool
 }
 
 // QuickScale is sized for smoke tests and benchmarks.
@@ -422,6 +439,7 @@ func (sc Scale) Spec(topo *topology.Topology, mr, pktSize int, adaptiveFrac floa
 	fcfg.EngineOpts = sc.EngineOpts
 	fcfg.Shards = sc.Shards
 	fcfg.Partition = sc.Partition
+	fcfg.Fuse = !sc.Unfused
 	return RunSpec{
 		Topo:    topo,
 		LMC:     lmcFor(mr),

@@ -70,8 +70,11 @@ func (n *Network) AuditCredits(report func(class, detail string)) {
 			if o.peerSwitch != nil {
 				buf := o.peerSwitch.in[o.peerPort].vls[vl]
 				sum := 0
-				for _, be := range buf.entries {
-					sum += be.pkt.Credits()
+				// Recompute from the packets, not the slab's cached
+				// credits column, so the audit stays independent of the
+				// bookkeeping it checks.
+				for _, id := range buf.ids {
+					sum += buf.slab.pkt[id].Credits()
 				}
 				if sum != buf.occupied {
 					report(AuditCreditOccupancy, fmt.Sprintf("%s port %d vl %d: peer buffer claims %d credits occupied, entries hold %d",

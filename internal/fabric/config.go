@@ -74,6 +74,12 @@ type Config struct {
 	// shard engine with the same resolved options (arena included).
 	EngineOpts []sim.EngineOption
 
+	// PacketArena, when set, recycles packet slab blocks from finished
+	// runs (returned via Network.Recycle) into this network's packet
+	// allocation. Sweeps set one arena for all their load points; see
+	// the PacketArena safety contract.
+	PacketArena *PacketArena
+
 	// Shards selects the conservative-parallel execution mode: 0 or 1
 	// runs the classic sequential engine; >= 2 partitions switches and
 	// hosts into that many shards (clamped to the switch count), each
@@ -86,6 +92,16 @@ type Config struct {
 	// Partition picks the switch partitioner for sharded mode:
 	// PartitionBFS (default, "" means BFS) or PartitionRoundRobin.
 	Partition string
+
+	// Fuse arms the hop-fusion fast path (on in DefaultConfig): a kick
+	// event dispatched while its engine is quiescent at that timestamp
+	// runs the allocation/injection pass inline instead of scheduling
+	// the delay-0 event, eliding two queue round-trips per uncongested
+	// hop. Results are bit-identical either way — the unfused engine
+	// (Fuse false, the -fuse=off CLI flag) is kept as the differential
+	// oracle. Fusion disarms itself at runtime when a packet tracer
+	// attaches (Network.Defuse) or a tamper model is installed.
+	Fuse bool
 
 	// RoutingDelay, PropagationDelay and link rate come from
 	// internal/ib's constants; they are fixed by the paper's model.
@@ -152,6 +168,7 @@ func DefaultConfig() Config {
 		Split:            core.SplitHalf(credits),
 		Selection:        core.DefaultSelection(),
 		AdaptiveSwitches: true,
+		Fuse:             true,
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ibasim/internal/ib"
+	"ibasim/internal/prof"
 	"ibasim/internal/sim"
 )
 
@@ -30,9 +31,8 @@ type Host struct {
 	qhead      int
 	injPending bool
 
-	// kickFn and injectFn are the host's recurring event closures,
-	// bound once at wiring so scheduling them never allocates.
-	kickFn   func()
+	// injectFn is the host's recurring delay-0 event closure, bound
+	// once at wiring so scheduling it never allocates.
 	injectFn func()
 
 	// timeoutFn and timeoutArmed implement the send timeout of
@@ -42,10 +42,12 @@ type Host struct {
 	timeoutFn    func()
 	timeoutArmed sim.Time // deadline the pending check covers; 0 = none
 
-	// nextSeq numbers generated packets per destination, so the
-	// deliver side can verify in-order arrival of deterministic
-	// traffic.
-	nextSeq map[int]uint64
+	// nextSeq numbers generated packets per destination (indexed by
+	// destination host ID), so the deliver side can verify in-order
+	// arrival of deterministic traffic. A dense slice: every host
+	// eventually talks to most destinations under the paper's traffic
+	// patterns, and the per-packet map hash was measurable.
+	nextSeq []uint64
 
 	// Injected and Delivered count packets for quick accounting;
 	// detailed metrics hang off the Network callbacks.
@@ -118,6 +120,20 @@ func (h *Host) Inject(pkt *ib.Packet) {
 		h.net.OnCreated(pkt)
 	}
 	h.armSendTimeout()
+	// The injection analog of the hop-fusion fast path: Inject runs
+	// inside some dispatched event (a traffic-generator firing), and
+	// when that event is alone on its timestamp the delay-0 injection
+	// pass kick would schedule is popped immediately next — so it runs
+	// inline instead. Quiescence also implies injPending is false.
+	if h.net.fuse && !h.net.inMerged && h.ctx.eng.Quiescent() {
+		h.ctx.fusedKicks++
+		if prof.HotPhasesEnabled() {
+			prof.Phase(prof.PhaseFused, h.tryInject)
+			return
+		}
+		h.tryInject()
+		return
+	}
 	h.kick()
 }
 
@@ -140,10 +156,13 @@ func (h *Host) kick() {
 	h.ctx.eng.Schedule(0, h.injectFn)
 }
 
+// inlinePass runs the injection attempt synchronously — the hop-fusion
+// analog of Switch.inlinePass (see pool.go).
+func (h *Host) inlinePass() { h.tryInject() }
+
 // finishWiring binds the host's recurring event closures once the
 // link to its switch exists.
 func (h *Host) finishWiring() {
-	h.kickFn = h.kick
 	h.injectFn = func() {
 		h.injPending = false
 		h.tryInject()
@@ -213,7 +232,7 @@ func (h *Host) tryInject() {
 		h.ctx.moved++
 
 		h.ctx.scheduleReceive(ib.PropagationDelay, h.out.peerSwitch, h.out.peerPort, vl, pkt)
-		h.ctx.eng.Schedule(ser, h.kickFn)
+		h.ctx.scheduleHostKick(ser, h)
 		return // the link is now busy; the ser-kick continues the queue
 	}
 }

@@ -18,7 +18,12 @@ import (
 // port — the minimal fabric on which a packet exercises the full
 // enhanced-switch path: table lookup, arbitration, credit-split
 // checks, transmission, credit return, delivery.
-func hotpathNet(tb testing.TB) *Network {
+func hotpathNet(tb testing.TB) *Network { return hotpathNetCfg(tb, DefaultConfig()) }
+
+// hotpathNetCfg is hotpathNet with a caller-supplied fabric config —
+// the unfused-variant tests flip Cfg.Fuse off to pin the per-hop event
+// oracle to the same zero-alloc bar.
+func hotpathNetCfg(tb testing.TB, cfg Config) *Network {
 	tb.Helper()
 	topo, err := topology.Line(2, 4)
 	if err != nil {
@@ -28,7 +33,7 @@ func hotpathNet(tb testing.TB) *Network {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	net, err := NewNetwork(topo, plan, DefaultConfig(), 1)
+	net, err := NewNetwork(topo, plan, cfg, 1)
 	if err != nil {
 		tb.Fatal(err)
 	}

@@ -59,6 +59,45 @@ type Network struct {
 	// in every real run; the forwarding path reads it with plain bool
 	// tests so honest runs pay nothing.
 	tamper Tamper
+
+	// fuse is the hop-fusion runtime switch the kick dispatch reads:
+	// Cfg.Fuse, forced off while an observer demands per-hop events
+	// (defused) or a tamper model is installed. inMerged marks the
+	// sharded coordinator's merged control phase, where same-timestamp
+	// events on other engines make the single-queue quiescence test
+	// unsound (see pool.go and runMergedAt).
+	fuse     bool
+	defused  bool
+	inMerged bool
+}
+
+// applyFuse recomputes the runtime fusion switch from its inputs.
+func (n *Network) applyFuse() {
+	n.fuse = n.Cfg.Fuse && !n.defused && n.tamper == (Tamper{})
+}
+
+// Defuse permanently disables hop fusion on this network, restoring
+// the one-event-per-phase hot path. Observers that assert on the exact
+// per-hop event sequence (the packet tracer) call it when they attach;
+// it is sticky for the network's lifetime.
+func (n *Network) Defuse() {
+	n.defused = true
+	n.fuse = false
+}
+
+// Fused reports whether the hop-fusion fast path is currently armed.
+func (n *Network) Fused() bool { return n.fuse }
+
+// FusedKicks sums, over every execution context, the kick events whose
+// delay-0 allocation/injection pass ran inline instead of being
+// scheduled. Tests use it to prove the fast path engaged (or was
+// forced off).
+func (n *Network) FusedKicks() uint64 {
+	k := n.ctl.fusedKicks
+	for _, s := range n.shards {
+		k += s.fusedKicks
+	}
+	return k
 }
 
 // DropReason classifies why the fabric discarded a packet.
@@ -166,7 +205,10 @@ func NewNetwork(topo *topology.Topology, plan *ib.AddressPlan, cfg Config, seed 
 	// generous multiple of that horizon keeps steady-state forwarding
 	// traffic out of the overflow heap, leaving it the exponential
 	// inter-arrival tail. Explicit cfg.EngineOpts apply after the hint
-	// and override it.
+	// and override it. (A smaller wheel with hop-scale buckets was
+	// tried and loses ~20% on saturated sweeps: wide buckets push the
+	// sort and cursor-bucket insert costs past what the shorter
+	// empty-slot walk saves.)
 	hopHorizon := ib.RoutingDelay + ib.PropagationDelay + ib.SerializationTime(cfg.MTU)
 	engineOpts := make([]sim.EngineOption, 0, len(cfg.EngineOpts)+1)
 	engineOpts = append(engineOpts, sim.WithSpanHint(16*hopHorizon))
@@ -179,6 +221,7 @@ func NewNetwork(topo *topology.Topology, plan *ib.AddressPlan, cfg Config, seed 
 		rng:    sim.NewRNG(seed ^ 0x4641425249435F), // package tag
 	}
 	net.ctl = &execCtx{net: net, id: -1, eng: net.Engine, faults: &net.Faults}
+	net.applyFuse()
 
 	detOnly := make(map[int]bool, len(cfg.DeterministicOnly))
 	for _, s := range cfg.DeterministicOnly {
@@ -209,7 +252,7 @@ func NewNetwork(topo *topology.Topology, plan *ib.AddressPlan, cfg Config, seed 
 		})
 	}
 	for h := 0; h < topo.NumHosts(); h++ {
-		net.Hosts = append(net.Hosts, &Host{net: net, ctx: net.ctl, id: h, nextSeq: make(map[int]uint64, topo.NumHosts())})
+		net.Hosts = append(net.Hosts, &Host{net: net, ctx: net.ctl, id: h, nextSeq: make([]uint64, topo.NumHosts())})
 	}
 
 	// Wire host links: host h occupies port (h mod HostsPerSwitch) of

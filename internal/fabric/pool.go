@@ -1,20 +1,25 @@
 package fabric
 
 import (
+	"sync"
+
 	"ibasim/internal/ib"
+	"ibasim/internal/prof"
 	"ibasim/internal/sim"
 )
 
 // Hot-path object pools. Every packet hop schedules a handful of
-// events (peer receive, credit return, delivery) and buffers one
-// bufEntry; allocating those on the heap per hop dominated the
-// simulator's allocation profile. Both pools are plain freelists on
-// the execution context rather than sync.Pools: each context's engine
-// dispatches sequentially, so no locking is needed, and freelist reuse
-// is deterministic — it cannot perturb event ordering across runs.
-// When an event crosses a shard boundary its storage migrates with it:
-// ev.ctx is retargeted at dispatch, so the release always happens on
-// the goroutine that owns the freelist it lands in.
+// events (peer receive, credit return, delivery, follow-up kicks) and
+// buffers one slab entry; allocating those on the heap per hop
+// dominated the simulator's allocation profile. The event pool is a
+// plain freelist on the execution context rather than a sync.Pool:
+// each context's engine dispatches sequentially, so no locking is
+// needed, and freelist reuse is deterministic — it cannot perturb
+// event ordering across runs. When an event crosses a shard boundary
+// its storage migrates with it: ev.ctx is retargeted at dispatch, so
+// the release always happens on the goroutine that owns the freelist
+// it lands in. Buffered-packet state lives in the context's
+// struct-of-arrays entrySlab (see vlbuffer.go).
 
 // Event kinds dispatched by fabricEvent.Do.
 const (
@@ -22,6 +27,8 @@ const (
 	evDeliver                   // packet tail arrives at the destination CA
 	evCreditReturn              // flow-control update reaches the transmitter
 	evRequeue                   // retry policy re-enters a dropped packet at its source
+	evSwitchKick                // delayed allocation-pass kick (routing done / link freed)
+	evHostKick                  // delayed injection kick (host link freed)
 )
 
 // fabricEvent is a pooled sim.Action carrying the payload of one
@@ -33,8 +40,8 @@ type fabricEvent struct {
 	ctx  *execCtx // context the event executes (and is released) on
 	kind uint8
 
-	sw   *Switch    // evReceive target
-	host *Host      // evDeliver / evRequeue target
+	sw   *Switch    // evReceive / evSwitchKick target
+	host *Host      // evDeliver / evRequeue / evHostKick target
 	out  *outPort   // evCreditReturn target
 	port ib.PortID  // evReceive input port
 	vl   int        // input/output VL
@@ -45,18 +52,75 @@ type fabricEvent struct {
 // Do dispatches the event. Payload fields are copied to locals and the
 // struct is returned to the pool first, so work scheduled by the
 // payload can reuse it immediately.
+//
+// The two kick kinds carry the hop-fusion fast path. A kick's only
+// legacy job is to schedule the delay-0 allocation/injection pass
+// (coalesced through arbPending/injPending). When the engine is
+// quiescent at this timestamp — the kick is the last event at Now —
+// that delay-0 event would be popped immediately next with no
+// intervening dispatch, so the pass runs inline instead and the
+// delay-0 event is elided: same state reads, same pushes in the same
+// relative order, two fewer queue round-trips per uncongested hop.
+// Quiescence also proves the pending flag is clear (a pending delay-0
+// pass would itself be an event at Now). The fast path is fenced off
+// whenever exact per-hop event sequences are observable: fusion
+// disabled (-fuse=off), a packet tracer attached (Network.Defuse), a
+// tamper model installed, or the sharded coordinator's merged control
+// phase, where same-timestamp events on *other* engines may interleave
+// between the kick and its delay-0 pass.
 func (ev *fabricEvent) Do() {
 	c, kind, sw, host, out, port, vl, n, pkt := ev.ctx, ev.kind, ev.sw, ev.host, ev.out, ev.port, ev.vl, ev.n, ev.pkt
 	c.putEvent(ev)
 	switch kind {
 	case evReceive:
+		if prof.HotPhasesEnabled() {
+			prof.Phase(prof.PhaseRoute, func() { sw.receive(port, vl, pkt) })
+			return
+		}
 		sw.receive(port, vl, pkt)
 	case evDeliver:
 		host.deliver(pkt)
 	case evCreditReturn:
-		out.returnCredits(vl, n)
+		// Same fusion argument as the kick kinds: returnCredits' only
+		// follow-up is the owner's coalesced delay-0 pass, so when this
+		// event is alone at Now the pass runs inline. (evCreditReturn
+		// executes on the port owner's context, so c.eng is the engine
+		// whose quiescence matters.)
+		out.credits[vl] += n
+		if c.net.fuse && !c.net.inMerged && c.eng.Quiescent() {
+			c.fusedKicks++
+			if prof.HotPhasesEnabled() {
+				prof.Phase(prof.PhaseFused, out.owner.inlinePass)
+				return
+			}
+			out.owner.inlinePass()
+			return
+		}
+		out.owner.kick()
 	case evRequeue:
 		host.requeue(pkt)
+	case evSwitchKick:
+		if sw.net.fuse && !sw.net.inMerged && c.eng.Quiescent() {
+			c.fusedKicks++
+			if prof.HotPhasesEnabled() {
+				prof.Phase(prof.PhaseFused, sw.arbitrate)
+				return
+			}
+			sw.arbitrate()
+			return
+		}
+		sw.kick()
+	case evHostKick:
+		if host.net.fuse && !host.net.inMerged && c.eng.Quiescent() {
+			c.fusedKicks++
+			if prof.HotPhasesEnabled() {
+				prof.Phase(prof.PhaseFused, host.tryInject)
+				return
+			}
+			host.tryInject()
+			return
+		}
+		host.kick()
 	}
 }
 
@@ -105,6 +169,25 @@ func (c *execCtx) scheduleRequeue(delay sim.Time, h *Host, pkt *ib.Packet) {
 	c.dispatch(delay, h.ctx, ev)
 }
 
+// scheduleSwitchKick schedules a pooled allocation-pass kick for sw
+// after delay. Kicks are always context-local (a node only kicks
+// itself on a delay), so this bypasses dispatch's shard routing. The
+// pooled action occupies the exact queue position the old bound-method
+// closure did — same push site, same sequence number — so replacing
+// the closure cannot perturb dispatch order.
+func (c *execCtx) scheduleSwitchKick(delay sim.Time, sw *Switch) {
+	ev := c.getEvent()
+	ev.kind, ev.sw, ev.ctx = evSwitchKick, sw, c
+	c.eng.ScheduleAction(delay, ev)
+}
+
+// scheduleHostKick schedules a pooled injection kick for h after delay.
+func (c *execCtx) scheduleHostKick(delay sim.Time, h *Host) {
+	ev := c.getEvent()
+	ev.kind, ev.host, ev.ctx = evHostKick, h, c
+	c.eng.ScheduleAction(delay, ev)
+}
+
 // pktSlabSize is how many packets one allocation block holds. Packets
 // are not recycled — observers (reorder buffers, tracers, tests) may
 // hold a delivered packet long after the fabric last touches it, so
@@ -120,29 +203,61 @@ const pktSlabSize = 512
 // is deterministic.
 func (c *execCtx) getPacket() *ib.Packet {
 	if len(c.pktSlab) == 0 {
-		c.pktSlab = make([]ib.Packet, pktSlabSize)
+		c.pktSlab = c.net.pktBlock()
+		c.pktBlocks = append(c.pktBlocks, c.pktSlab)
 	}
 	pkt := &c.pktSlab[0]
 	c.pktSlab = c.pktSlab[1:]
 	return pkt
 }
 
-// getEntry takes a bufEntry from the pool (or allocates one cold).
-// Callers must set every routing field; the entry arrives zeroed with
-// chosen already at InvalidPort.
-func (c *execCtx) getEntry() *bufEntry {
-	if last := len(c.entryFree) - 1; last >= 0 {
-		e := c.entryFree[last]
-		c.entryFree = c.entryFree[:last]
-		return e
+// pktBlock returns a fresh packet block: recycled from the configured
+// arena when one is set (stale contents are fine — NewPacket overwrites
+// the whole struct), freshly allocated otherwise.
+func (n *Network) pktBlock() []ib.Packet {
+	if a := n.Cfg.PacketArena; a != nil {
+		if b := a.get(); b != nil {
+			return b
+		}
 	}
-	return &bufEntry{chosen: ib.InvalidPort}
+	return make([]ib.Packet, pktSlabSize)
 }
 
-// putEntry recycles a bufEntry after its packet left the buffer. The
-// adaptive slice reference is dropped (it belongs to the forwarding
-// table's block cache, never to the entry).
-func (c *execCtx) putEntry(e *bufEntry) {
-	*e = bufEntry{chosen: ib.InvalidPort}
-	c.entryFree = append(c.entryFree, e)
+// PacketArena recycles packet slab blocks between the runs of a sweep,
+// the packet-memory analog of sim.QueueArena: the load points of a
+// sweep each allocate tens of thousands of packets, and handing a
+// finished run's blocks to the next cuts the dominant share of the
+// sweep's GC pressure. Thread-safe — load points run on a worker pool.
+//
+// Safety contract: blocks come back via Network.Recycle, whose caller
+// asserts the run is over and no *ib.Packet reference survives it
+// (observers drain with the network). Reusing a block while a packet
+// in it is still referenced would silently corrupt that packet.
+type PacketArena struct {
+	mu     sync.Mutex
+	blocks [][]ib.Packet
+}
+
+// NewPacketArena returns an empty arena.
+func NewPacketArena() *PacketArena { return &PacketArena{} }
+
+func (a *PacketArena) get() []ib.Packet {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if last := len(a.blocks) - 1; last >= 0 {
+		b := a.blocks[last]
+		a.blocks[last] = nil
+		a.blocks = a.blocks[:last]
+		return b
+	}
+	return nil
+}
+
+func (a *PacketArena) put(blocks [][]ib.Packet) {
+	if len(blocks) == 0 {
+		return
+	}
+	a.mu.Lock()
+	a.blocks = append(a.blocks, blocks...)
+	a.mu.Unlock()
 }

@@ -6,9 +6,14 @@ import (
 )
 
 // node is anything that owns output ports and must be re-examined when
-// one of them frees up or receives credits back.
+// one of them frees up or receives credits back. kick schedules the
+// re-examination as a coalesced delay-0 event; inlinePass runs it
+// synchronously — the hop-fusion dispatch picks inlinePass when engine
+// quiescence proves the delay-0 event would run immediately next
+// anyway (see pool.go).
 type node interface {
 	kick()
+	inlinePass()
 }
 
 // outPort is the transmitting side of one directed channel: it tracks
@@ -38,12 +43,6 @@ type outPort struct {
 }
 
 func (o *outPort) free(now sim.Time) bool { return !o.down && o.busyUntil <= now }
-
-// returnCredits is the arrival of a flow-control update from the peer.
-func (o *outPort) returnCredits(vl, n int) {
-	o.credits[vl] += n
-	o.owner.kick()
-}
 
 // inPort is the receiving side: per-VL buffers plus the reverse
 // reference used to send credit updates back upstream.

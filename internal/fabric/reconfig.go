@@ -107,16 +107,19 @@ func (n *Network) SetSwitchDown(s int) error {
 	}
 	// Drain: every buffered packet is lost; the upstream transmitters
 	// get their credits back so conservation audits stay exact.
+	slab := &sw.ctx.slab
 	for _, in := range sw.in {
 		if in == nil {
 			continue
 		}
 		for vl, buf := range in.vls {
 			for buf.len() > 0 {
-				e := buf.removeAt(0)
-				sw.ctx.scheduleCreditReturn(ib.PropagationDelay, in.upstream, vl, e.pkt.Credits())
-				sw.ctx.dropPacket(e.pkt, DropDeadPort)
-				sw.ctx.putEntry(e)
+				id := buf.removeAt(0)
+				sw.occupancy--
+				pkt := slab.pkt[id]
+				sw.ctx.scheduleCreditReturn(ib.PropagationDelay, in.upstream, vl, pkt.Credits())
+				sw.ctx.dropPacket(pkt, DropDeadPort)
+				slab.release(id)
 			}
 		}
 	}
@@ -177,34 +180,35 @@ func (n *Network) switchByID(s int) (*Switch, error) {
 // mid-reconfiguration transients) are dropped and counted instead of
 // panicking; Reroute returns how many packets it discarded.
 func (sw *Switch) Reroute() (dropped int) {
+	slab := &sw.ctx.slab
 	for _, in := range sw.in {
 		if in == nil {
 			continue
 		}
 		for vl, buf := range in.vls {
 			for i := 0; i < buf.len(); {
-				e := buf.entries[i]
+				id := buf.ids[i]
 				if sw.enhanced {
-					escape, adaptive, err := sw.table.Lookup(e.pkt.DLID)
+					escape, adaptive, err := sw.table.Lookup(slab.pkt[id].DLID)
 					if err != nil {
 						sw.dropBuffered(buf, i, in, vl)
 						dropped++
 						continue
 					}
-					e.escape, e.adaptive = escape, adaptive
-					if e.chosen != ib.InvalidPort {
+					slab.escape[id], slab.adaptive[id] = escape, adaptive
+					if slab.chosen[id] != ib.InvalidPort {
 						// Immediate-selection decisions are remade.
-						e.chosen = ib.InvalidPort
-						sw.selectImmediate(e)
+						slab.chosen[id] = ib.InvalidPort
+						sw.selectImmediate(id)
 					}
 				} else {
-					p := sw.table.Get(e.pkt.DLID)
+					p := sw.table.Get(slab.pkt[id].DLID)
 					if p == ib.InvalidPort {
 						sw.dropBuffered(buf, i, in, vl)
 						dropped++
 						continue
 					}
-					e.escape = p
+					slab.escape[id] = p
 				}
 				i++
 			}
@@ -217,8 +221,11 @@ func (sw *Switch) Reroute() (dropped int) {
 // dropBuffered discards the buffered entry at index i as unroutable,
 // returning its credits upstream.
 func (sw *Switch) dropBuffered(buf *vlBuffer, i int, in *inPort, vl int) {
-	e := buf.removeAt(i)
-	sw.ctx.scheduleCreditReturn(ib.PropagationDelay, in.upstream, vl, e.pkt.Credits())
-	sw.ctx.dropPacket(e.pkt, DropUnroutable)
-	sw.ctx.putEntry(e)
+	slab := &sw.ctx.slab
+	id := buf.removeAt(i)
+	sw.occupancy--
+	pkt := slab.pkt[id]
+	sw.ctx.scheduleCreditReturn(ib.PropagationDelay, in.upstream, vl, pkt.Credits())
+	sw.ctx.dropPacket(pkt, DropUnroutable)
+	slab.release(id)
 }

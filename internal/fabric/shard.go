@@ -40,14 +40,22 @@ type execCtx struct {
 	id  int // shard index, or -1 for the control/sequential context
 	eng *sim.Engine
 
-	// Hot-path freelists (see pool.go). Single-threaded per context:
-	// each context's engine dispatches sequentially.
-	evFree    []*fabricEvent
-	entryFree []*bufEntry
+	// Hot-path event freelist (see pool.go) and the struct-of-arrays
+	// store for buffered-packet state (see vlbuffer.go). Single-threaded
+	// per context: each context's engine dispatches sequentially.
+	evFree []*fabricEvent
+	slab   entrySlab
+
+	// fusedKicks counts kick events whose delay-0 pass ran inline
+	// (hop fusion); Network.FusedKicks sums.
+	fusedKicks uint64
 
 	// pktSlab is the tail of the current packet allocation block;
 	// NewPacket carves packets from it (see execCtx.getPacket).
-	pktSlab []ib.Packet
+	// pktBlocks remembers every block this context consumed so
+	// Network.Recycle can hand them back to the sweep's PacketArena.
+	pktSlab   []ib.Packet
+	pktBlocks [][]ib.Packet
 
 	// faults points at this context's drop/retry counters. The
 	// sequential and control contexts share the Network's exported
@@ -342,12 +350,22 @@ func (n *Network) Processed() uint64 {
 
 // Recycle returns every engine's queue storage to the arena the
 // network was built with (sim.WithArena), shard queues included, so a
-// sweep's next network reuses all of them. Without an arena it is a
+// sweep's next network reuses all of them; packet slab blocks go back
+// to Cfg.PacketArena the same way. The caller asserts the run is over
+// and nothing retains a *ib.Packet from it. Without arenas it is a
 // no-op; calling it twice is safe.
 func (n *Network) Recycle() {
 	n.Engine.Recycle()
 	for _, s := range n.shards {
 		s.eng.Recycle()
+	}
+	if a := n.Cfg.PacketArena; a != nil {
+		a.put(n.ctl.pktBlocks)
+		n.ctl.pktBlocks, n.ctl.pktSlab = nil, nil
+		for _, s := range n.shards {
+			a.put(s.pktBlocks)
+			s.pktBlocks, s.pktSlab = nil, nil
+		}
 	}
 }
 
@@ -490,6 +508,12 @@ func (n *Network) runSharded(horizon sim.Time) {
 // queued; cross-shard events go to the mailboxes as usual and are
 // drained by the caller.
 func (n *Network) runMergedAt(t sim.Time) {
+	// Hop fusion keys off "no other event at Now in MY queue"; during a
+	// merged phase a same-timestamp event on another engine (a control
+	// fault flip, say) may interleave between a kick and its delay-0
+	// pass, so the fast path must stand down for the whole phase.
+	n.inMerged = true
+	defer func() { n.inMerged = false }()
 	n.Engine.AdvanceTo(t)
 	for _, s := range n.shards {
 		s.eng.AdvanceTo(t)

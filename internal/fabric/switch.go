@@ -5,6 +5,7 @@ import (
 
 	"ibasim/internal/core"
 	"ibasim/internal/ib"
+	"ibasim/internal/prof"
 	"ibasim/internal/sim"
 )
 
@@ -41,17 +42,31 @@ type Switch struct {
 
 	// points caches the wired (port, VL) service points. The topology
 	// is static after wiring, so the slice is built once (finishWiring)
-	// instead of on every allocation pass.
+	// instead of on every allocation pass. bufs is the parallel buffer
+	// pointer for each point: the allocation scan touches only it on
+	// empty points, one load instead of the in[port].vls[vl] chain.
 	points []servicePoint
+	bufs   []*vlBuffer
 
 	rr         int // round-robin start for the allocation scan
 	arbPending bool
 
-	// kickFn and arbFn are the switch's two recurring event closures,
-	// bound once at wiring: evaluating a method value (sw.kick) or a
-	// fresh func literal per Schedule call would allocate on every hop.
-	kickFn func()
-	arbFn  func()
+	// occupancy counts packets buffered across every (port, VL) input
+	// buffer. An allocation pass over an empty switch — the common case
+	// right after the last buffered packet departed — short-circuits on
+	// it instead of scanning every service point.
+	occupancy int
+
+	// arbFn is the switch's recurring delay-0 event closure, bound once
+	// at wiring: evaluating a fresh func literal per kick would allocate
+	// on every hop.
+	arbFn func()
+
+	// vlOf flattens the SL-to-VL table into one [out*MaxVLs + sl]
+	// lookup. The table is programmed at construction and never
+	// reprogrammed, so finishWiring snapshots it and the per-hop outVL
+	// call skips the table's range-checked error path.
+	vlOf []int8
 
 	// candScratch is reused across adaptiveCandidates calls. The slice
 	// is consumed synchronously by the selector before the next call,
@@ -106,14 +121,15 @@ func (sw *Switch) QueuedPackets() int { return sw.queuedPackets() }
 // port-major order. The forward-progress watchdog samples these to
 // detect service points whose head packet stopped moving.
 func (sw *Switch) ScanBuffers(fn func(port ib.PortID, vl int, depth int, headID uint64)) {
+	slab := &sw.ctx.slab
 	for p, in := range sw.in {
 		if in == nil {
 			continue
 		}
 		for vl, buf := range in.vls {
 			var head uint64
-			if e := buf.head(); e != nil {
-				head = e.pkt.ID
+			if id := buf.head(); id >= 0 {
+				head = slab.pkt[id].ID
 			}
 			fn(ib.PortID(p), vl, buf.len(), head)
 		}
@@ -130,15 +146,43 @@ func (sw *Switch) kick() {
 	sw.ctx.eng.Schedule(0, sw.arbFn)
 }
 
+// inlinePass runs the allocation pass synchronously — the hop-fusion
+// dispatch substitutes it for kick when engine quiescence proves the
+// delay-0 event would execute immediately next anyway (see pool.go).
+func (sw *Switch) inlinePass() { sw.arbitrate() }
+
 // finishWiring precomputes the per-switch hot-path state once the
-// port wiring is final: the service-point scan order and the two
-// recurring event closures.
+// port wiring is final: the service-point scan order, the recurring
+// delay-0 event closure, and each input buffer's pointer to the owning
+// context's entry slab (context ownership is fixed by then — sharding
+// has already stamped sw.ctx).
 func (sw *Switch) finishWiring() {
 	sw.points = sw.buildServicePoints()
-	sw.kickFn = sw.kick
+	sw.vlOf = make([]int8, len(sw.out)*ib.MaxVLs)
+	for p := range sw.out {
+		for sl := 0; sl < ib.MaxVLs; sl++ {
+			vl, err := sw.sl2vl.VL(0, p, sl)
+			if err != nil {
+				panic(fmt.Sprintf("fabric: switch %d: %v", sw.id, err))
+			}
+			sw.vlOf[p*ib.MaxVLs+sl] = int8(vl)
+		}
+	}
 	sw.arbFn = func() {
 		sw.arbPending = false
+		if prof.HotPhasesEnabled() {
+			prof.Phase(prof.PhaseArbitrate, sw.arbitrate)
+			return
+		}
 		sw.arbitrate()
+	}
+	for _, in := range sw.in {
+		if in == nil {
+			continue
+		}
+		for _, buf := range in.vls {
+			buf.slab = &sw.ctx.slab
+		}
 	}
 }
 
@@ -156,13 +200,19 @@ func (sw *Switch) receive(port ib.PortID, vl int, pkt *ib.Packet) {
 		return
 	}
 	now := sw.ctx.eng.Now()
-	e := sw.ctx.getEntry()
-	e.pkt = pkt
-	e.readyAt = now + ib.RoutingDelay
+	slab := &sw.ctx.slab
+	id := slab.alloc()
+	slab.pkt[id] = pkt
+	slab.readyAt[id] = now + ib.RoutingDelay
+	slab.credits[id] = int32(pkt.Credits())
+	slab.sl[id] = int32(pkt.SL)
+	if pkt.Adaptive {
+		slab.flags[id] = entryPktAdaptive
+	}
 	if sw.enhanced {
 		escape, adaptive, err := sw.table.Lookup(pkt.DLID)
 		if err != nil {
-			sw.ctx.putEntry(e)
+			slab.release(id)
 			sw.dropUnroutable(port, vl, pkt)
 			return
 		}
@@ -174,23 +224,24 @@ func (sw *Switch) receive(port ib.PortID, vl int, pkt *ib.Packet) {
 				escape, adaptive = esc2, ad2
 			}
 		}
-		e.escape, e.adaptive = escape, adaptive
+		slab.escape[id], slab.adaptive[id] = escape, adaptive
 		if !sw.net.Cfg.Selection.AtArbitration {
-			sw.selectImmediate(e)
+			sw.selectImmediate(id)
 		}
 	} else {
 		// Plain IBA switch: a linear lookup of the exact DLID yields
 		// the single routing option.
 		p := sw.table.Get(pkt.DLID)
 		if p == ib.InvalidPort {
-			sw.ctx.putEntry(e)
+			slab.release(id)
 			sw.dropUnroutable(port, vl, pkt)
 			return
 		}
-		e.escape = p
+		slab.escape[id] = p
 	}
-	sw.in[port].vls[vl].push(e)
-	sw.ctx.eng.Schedule(ib.RoutingDelay, sw.kickFn)
+	sw.in[port].vls[vl].push(id)
+	sw.occupancy++
+	sw.ctx.scheduleSwitchKick(ib.RoutingDelay, sw)
 }
 
 // dropUnroutable discards a packet whose DLID has no programmed port
@@ -205,27 +256,34 @@ func (sw *Switch) dropUnroutable(port ib.PortID, vl int, pkt *ib.Packet) {
 // (§4.3 immediate selection). Status-aware immediate selection uses
 // the credit/link status at this moment; static selection picks
 // uniformly among all returned options.
-func (sw *Switch) selectImmediate(e *bufEntry) {
-	if !e.pkt.Adaptive || len(e.adaptive) == 0 || sw.escapeOnly {
-		e.chosen, e.chosenIsAdaptive = e.escape, false
+func (sw *Switch) selectImmediate(id int32) {
+	slab := &sw.ctx.slab
+	adaptive := slab.adaptive[id]
+	if slab.flags[id]&entryPktAdaptive == 0 || len(adaptive) == 0 || sw.escapeOnly {
+		slab.chosen[id] = slab.escape[id]
+		slab.flags[id] &^= entryChosenAdaptive
 		return
 	}
 	now := sw.ctx.eng.Now()
 	if sw.net.Cfg.Selection.StatusAware {
-		cands := sw.adaptiveCandidates(e, now)
+		cands := sw.adaptiveCandidates(id, now)
 		if i := core.PickAdaptive(sw.net.Cfg.Selection, cands, sw.net.rng); i >= 0 {
-			e.chosen, e.chosenIsAdaptive = cands[i].Port, true
+			slab.chosen[id] = cands[i].Port
+			slab.flags[id] |= entryChosenAdaptive
 			return
 		}
-		e.chosen, e.chosenIsAdaptive = e.escape, false
+		slab.chosen[id] = slab.escape[id]
+		slab.flags[id] &^= entryChosenAdaptive
 		return
 	}
 	// Static: uniform over adaptive options plus the escape option.
-	k := sw.net.rng.Intn(len(e.adaptive) + 1)
-	if k < len(e.adaptive) {
-		e.chosen, e.chosenIsAdaptive = e.adaptive[k], true
+	k := sw.net.rng.Intn(len(adaptive) + 1)
+	if k < len(adaptive) {
+		slab.chosen[id] = adaptive[k]
+		slab.flags[id] |= entryChosenAdaptive
 	} else {
-		e.chosen, e.chosenIsAdaptive = e.escape, false
+		slab.chosen[id] = slab.escape[id]
+		slab.flags[id] &^= entryChosenAdaptive
 	}
 }
 
@@ -233,17 +291,20 @@ func (sw *Switch) selectImmediate(e *bufEntry) {
 // options: eligibility = output link free now and the next hop's
 // adaptive queue can hold the whole packet. The returned slice aliases
 // the switch's scratch buffer and is only valid until the next call.
-func (sw *Switch) adaptiveCandidates(e *bufEntry, now sim.Time) []core.Candidate {
-	if cap(sw.candScratch) < len(e.adaptive) {
-		sw.candScratch = make([]core.Candidate, len(e.adaptive))
+func (sw *Switch) adaptiveCandidates(id int32, now sim.Time) []core.Candidate {
+	slab := &sw.ctx.slab
+	adaptive := slab.adaptive[id]
+	if cap(sw.candScratch) < len(adaptive) {
+		sw.candScratch = make([]core.Candidate, len(adaptive))
 	}
-	cands := sw.candScratch[:len(e.adaptive)]
-	pktCredits := e.pkt.Credits()
-	for i, p := range e.adaptive {
+	cands := sw.candScratch[:len(adaptive)]
+	pktCredits := int(slab.credits[id])
+	sl := int(slab.sl[id])
+	for i, p := range adaptive {
 		o := sw.out[p]
 		c := core.Candidate{Port: p}
 		if o != nil {
-			vl := sw.outVL(e, p)
+			vl := sw.outVL(sl, p)
 			avail := o.credits[vl]
 			if o.peerHost != nil {
 				// Delivery port: the CA drains at line rate and has no
@@ -260,6 +321,40 @@ func (sw *Switch) adaptiveCandidates(e *bufEntry, now sim.Time) []core.Candidate
 	return cands
 }
 
+// bestAdaptive is the fused fast path for the default selection policy
+// (arbitration-time, status-aware): it computes each option's
+// eligibility and adaptive credit count exactly as adaptiveCandidates
+// does and tracks the first maximum inline, matching
+// core.PickAdaptive's strict-greater scan over the same order — same
+// winner, no candidate slice materialized, and (like the slow path for
+// this policy) no RNG consumption.
+func (sw *Switch) bestAdaptive(id int32, now sim.Time) (ib.PortID, bool) {
+	slab := &sw.ctx.slab
+	pktCredits := int(slab.credits[id])
+	sl := int(slab.sl[id])
+	best, bestCredits := ib.InvalidPort, -1
+	for _, p := range slab.adaptive[id] {
+		o := sw.out[p]
+		if o == nil || !o.free(now) {
+			continue
+		}
+		avail := o.credits[sw.outVL(sl, p)]
+		var credits int
+		var eligible bool
+		if o.peerHost != nil {
+			credits = avail
+			eligible = sw.net.Cfg.Split.CanUseEscape(avail, pktCredits)
+		} else {
+			credits = sw.net.Cfg.Split.Adaptive(avail)
+			eligible = sw.adaptiveRoom(avail, pktCredits)
+		}
+		if eligible && credits > bestCredits {
+			best, bestCredits = p, credits
+		}
+	}
+	return best, best != ib.InvalidPort
+}
+
 // adaptiveRoom is the §4.4 adaptive-admission condition: the adaptive
 // region of the next hop's buffer must hold the whole packet,
 // C_XYA = max(0, C_XY − C_0) >= pktCredits. The tamper flag swaps in
@@ -273,26 +368,23 @@ func (sw *Switch) adaptiveRoom(avail, pktCredits int) bool {
 
 // escapeUsable reports whether the escape option of an entry can fire
 // now: link free and the next VL has room for the whole packet.
-func (sw *Switch) escapeUsable(e *bufEntry, now sim.Time) bool {
-	o := sw.out[e.escape]
+func (sw *Switch) escapeUsable(id int32, now sim.Time) bool {
+	slab := &sw.ctx.slab
+	o := sw.out[slab.escape[id]]
 	if o == nil || !o.free(now) {
 		return false
 	}
-	vl := sw.outVL(e, e.escape)
-	return sw.net.Cfg.Split.CanUseEscape(o.credits[vl], e.pkt.Credits())
+	vl := sw.outVL(int(slab.sl[id]), slab.escape[id])
+	return sw.net.Cfg.Split.CanUseEscape(o.credits[vl], int(slab.credits[id]))
 }
 
-// outVL computes the VL the packet will use on the chosen output link
-// via the SLtoVL table. The input port is not tracked per entry
-// because the default mapping ignores it; using port 0 keeps the
-// lookup well-formed. (Entries could carry their input port if a
-// QoS-style SLtoVL configuration ever needs it.)
-func (sw *Switch) outVL(e *bufEntry, out ib.PortID) int {
-	vl, err := sw.sl2vl.VL(0, int(out), e.pkt.SL)
-	if err != nil {
-		panic(fmt.Sprintf("fabric: switch %d: %v", sw.id, err))
-	}
-	return vl
+// outVL computes the VL a packet with service level sl will use on the
+// chosen output link via the SLtoVL table. The input port is not
+// tracked per entry because the default mapping ignores it; using
+// port 0 keeps the lookup well-formed. (Entries could carry their
+// input port if a QoS-style SLtoVL configuration ever needs it.)
+func (sw *Switch) outVL(sl int, out ib.PortID) int {
+	return int(sw.vlOf[int(out)*ib.MaxVLs+sl])
 }
 
 // servicePoint identifies one crossbar connection of an input buffer.
@@ -305,31 +397,61 @@ type servicePoint struct {
 // round-robin order and start every transmission whose credit and
 // link conditions hold, repeating until a full scan makes no progress.
 func (sw *Switch) arbitrate() {
-	now := sw.ctx.eng.Now()
 	points := sw.points
-	if len(points) == 0 {
+	n := len(points)
+	if n == 0 {
 		return
 	}
-	for progress := true; progress; {
+	if sw.occupancy == 0 {
+		// Every buffer is empty: a full scan would make no progress and
+		// its only side effect is the round-robin advance. This is the
+		// common state right after a switch's last buffered packet
+		// departs (the trailing ser-kick fires into an empty switch).
+		sw.rr++
+		if sw.rr == n {
+			sw.rr = 0
+		}
+		return
+	}
+	now := sw.ctx.eng.Now()
+	for progress := true; progress && sw.occupancy > 0; {
+		// The occupancy guard cuts the scan short the moment the last
+		// buffered packet departs: the remaining points are all empty,
+		// so skipping them serves nothing and reads nothing — the pass
+		// is observationally identical, including the trailing
+		// round-robin advance.
 		progress = false
-		for i := 0; i < len(points); i++ {
-			sp := points[(sw.rr+i)%len(points)]
-			buf := sw.in[sp.port].vls[sp.vl]
-			if sw.tryServe(buf, sp, now) {
+		for i := 0; i < n; i++ {
+			j := sw.rr + i
+			if j >= n {
+				j -= n
+			}
+			buf := sw.bufs[j]
+			if len(buf.ids) == 0 {
+				continue
+			}
+			if sw.tryServe(buf, points[j], now) {
 				progress = true
+				if sw.occupancy == 0 {
+					break
+				}
 			}
 		}
 	}
-	sw.rr = (sw.rr + 1) % len(points)
+	sw.rr++
+	if sw.rr == n {
+		sw.rr = 0
+	}
 }
 
 // tryServe attempts to dispatch from both service points of one
 // buffer. It returns true if any packet left.
 func (sw *Switch) tryServe(buf *vlBuffer, sp servicePoint, now sim.Time) bool {
 	served := false
+	slab := buf.slab
 	// Buffer head (adaptive-queue head).
-	if e := buf.head(); e != nil && e.readyAt <= now {
-		if out, asAdaptive, ok := sw.chooseOutput(e, now); ok {
+	if id := buf.head(); id >= 0 && slab.readyAt[id] <= now {
+		if out, asAdaptive, ok := sw.chooseOutput(id, now); ok {
 			sw.startTx(buf, 0, sp, out, asAdaptive)
 			served = true
 		}
@@ -337,8 +459,8 @@ func (sw *Switch) tryServe(buf *vlBuffer, sp servicePoint, now sim.Time) bool {
 	// Escape-queue connection, served independently (§4.4); the
 	// in-order pointer may redirect it to the first deterministic
 	// packet still in the adaptive region (see escapeService).
-	if idx, e := buf.escapeService(); e != nil && idx > 0 && e.readyAt <= now {
-		if out, asAdaptive, ok := sw.chooseOutput(e, now); ok {
+	if idx, id := buf.escapeService(); id >= 0 && idx > 0 && slab.readyAt[id] <= now {
+		if out, asAdaptive, ok := sw.chooseOutput(id, now); ok {
 			sw.startTx(buf, idx, sp, out, asAdaptive)
 			served = true
 		}
@@ -349,35 +471,43 @@ func (sw *Switch) tryServe(buf *vlBuffer, sp servicePoint, now sim.Time) bool {
 // chooseOutput picks the output port for a servable entry under the
 // configured selection policy, returning ok=false when nothing can
 // fire now.
-func (sw *Switch) chooseOutput(e *bufEntry, now sim.Time) (out ib.PortID, asAdaptive bool, ok bool) {
-	if e.chosen != ib.InvalidPort {
+func (sw *Switch) chooseOutput(id int32, now sim.Time) (out ib.PortID, asAdaptive bool, ok bool) {
+	slab := &sw.ctx.slab
+	if chosen := slab.chosen[id]; chosen != ib.InvalidPort {
 		// Immediate selection: the decision is fixed; wait until that
 		// specific option can fire.
-		o := sw.out[e.chosen]
+		o := sw.out[chosen]
 		if o == nil || !o.free(now) {
 			return 0, false, false
 		}
-		vl := sw.outVL(e, e.chosen)
+		vl := sw.outVL(int(slab.sl[id]), chosen)
 		avail := o.credits[vl]
-		pktCredits := e.pkt.Credits()
+		pktCredits := int(slab.credits[id])
 		usable := sw.net.Cfg.Split.CanUseEscape(avail, pktCredits)
-		if e.chosenIsAdaptive && o.peerHost == nil {
+		chosenAdaptive := slab.flags[id]&entryChosenAdaptive != 0
+		if chosenAdaptive && o.peerHost == nil {
 			usable = sw.adaptiveRoom(avail, pktCredits)
 		}
 		if !usable {
 			return 0, false, false
 		}
-		return e.chosen, e.chosenIsAdaptive, true
+		return chosen, chosenAdaptive, true
 	}
 	// Arbitration-time selection: adaptive options first (preference
 	// for minimal paths, §3), escape as fallback. The staged-reconfig
 	// transient (escapeOnly) suppresses adaptive moves computed from a
 	// stale table.
-	adaptivePkt := e.pkt.Adaptive || sw.net.tamper.AdaptiveDeterministic
-	if adaptivePkt && len(e.adaptive) > 0 && sw.enhanced && !sw.escapeOnly {
-		cands := sw.adaptiveCandidates(e, now)
-		if i := core.PickAdaptive(sw.net.Cfg.Selection, cands, sw.net.rng); i >= 0 {
-			return cands[i].Port, true, true
+	adaptivePkt := slab.flags[id]&entryPktAdaptive != 0 || sw.net.tamper.AdaptiveDeterministic
+	if adaptivePkt && len(slab.adaptive[id]) > 0 && sw.enhanced && !sw.escapeOnly {
+		if sel := sw.net.Cfg.Selection; sel.StatusAware {
+			if p, ok := sw.bestAdaptive(id, now); ok {
+				return p, true, true
+			}
+		} else {
+			cands := sw.adaptiveCandidates(id, now)
+			if i := core.PickAdaptive(sel, cands, sw.net.rng); i >= 0 {
+				return cands[i].Port, true, true
+			}
 		}
 		if sw.net.tamper.NoEscapeFallback {
 			// Mutation model: the §4.4 escape fallback is dropped —
@@ -385,26 +515,40 @@ func (sw *Switch) chooseOutput(e *bufEntry, now sim.Time) (out ib.PortID, asAdap
 			return 0, false, false
 		}
 	}
-	if sw.escapeUsable(e, now) {
-		return e.escape, false, true
+	if sw.escapeUsable(id, now) {
+		return slab.escape[id], false, true
 	}
 	return 0, false, false
 }
 
-// startTx dequeues the entry at idx and begins its transmission on
+// startTx dequeues the entry at idx and begins its transmission on the
+// output port (see transmit); when hot-phase profiling is active the
+// work is wrapped in the depart pprof label.
+func (sw *Switch) startTx(buf *vlBuffer, idx int, sp servicePoint, out ib.PortID, asAdaptive bool) {
+	if prof.HotPhasesEnabled() {
+		prof.Phase(prof.PhaseDepart, func() { sw.transmit(buf, idx, sp, out, asAdaptive) })
+		return
+	}
+	sw.transmit(buf, idx, sp, out, asAdaptive)
+}
+
+// transmit dequeues the entry at idx and begins its transmission on
 // the output port: credits are reserved for the whole packet (VCT),
 // the link is held for the serialization time, the credit update for
 // this switch's own input buffer travels back after the tail leaves,
 // and the head arrives at the peer after the propagation delay.
-func (sw *Switch) startTx(buf *vlBuffer, idx int, sp servicePoint, out ib.PortID, asAdaptive bool) {
+func (sw *Switch) transmit(buf *vlBuffer, idx int, sp servicePoint, out ib.PortID, asAdaptive bool) {
 	now := sw.ctx.eng.Now()
-	e := buf.removeAt(idx)
-	pkt := e.pkt
+	slab := &sw.ctx.slab
+	id := buf.removeAt(idx)
+	sw.occupancy--
+	pkt := slab.pkt[id]
 	o := sw.out[out]
-	vl := sw.outVL(e, out)
+	vl := sw.outVL(int(slab.sl[id]), out)
 	ser := ib.SerializationTime(pkt.Size)
+	credits := int(slab.credits[id])
 
-	o.credits[vl] -= pkt.Credits()
+	o.credits[vl] -= credits
 	if o.credits[vl] < 0 {
 		panic(fmt.Sprintf("fabric: switch %d port %d vl %d negative credits", sw.id, out, vl))
 	}
@@ -421,7 +565,6 @@ func (sw *Switch) startTx(buf *vlBuffer, idx int, sp servicePoint, out ib.PortID
 
 	// Credit update to our upstream once the tail has left this
 	// buffer (ser) and flown back (prop).
-	credits := pkt.Credits()
 	sw.ctx.scheduleCreditReturn(ser+ib.PropagationDelay, sw.in[sp.port].upstream, sp.vl, credits)
 
 	if o.peerHost != nil {
@@ -434,27 +577,31 @@ func (sw *Switch) startTx(buf *vlBuffer, idx int, sp servicePoint, out ib.PortID
 		sw.ctx.scheduleReceive(ib.PropagationDelay, o.peerSwitch, o.peerPort, vl, pkt)
 	}
 	// The link frees at ser; look for more work then.
-	sw.ctx.eng.Schedule(ser, sw.kickFn)
+	sw.ctx.scheduleSwitchKick(ser, sw)
 	// The entry's journey through this switch is over; recycle it.
-	sw.ctx.putEntry(e)
+	slab.release(id)
 }
 
 // buildServicePoints enumerates the wired (port, VL) buffers; the
 // result is cached in sw.points at wiring time.
 func (sw *Switch) buildServicePoints() []servicePoint {
 	var pts []servicePoint
+	sw.bufs = sw.bufs[:0]
 	for p, in := range sw.in {
 		if in == nil {
 			continue
 		}
 		for vl := range in.vls {
 			pts = append(pts, servicePoint{port: ib.PortID(p), vl: vl})
+			sw.bufs = append(sw.bufs, in.vls[vl])
 		}
 	}
 	return pts
 }
 
-// queuedPackets counts packets buffered in the switch (test hook).
+// queuedPackets counts packets buffered in the switch (test hook). It
+// recounts from the buffers rather than trusting sw.occupancy, so the
+// occupancy-consistency test can cross-check the counter.
 func (sw *Switch) queuedPackets() int {
 	n := 0
 	for _, in := range sw.in {

@@ -34,8 +34,15 @@ type Tamper struct {
 }
 
 // SetTamper installs a fault model for the mutation suite. Passing the
-// zero Tamper restores honest forwarding.
-func (n *Network) SetTamper(t Tamper) { n.tamper = t }
+// zero Tamper restores honest forwarding. A non-zero tamper forces
+// per-hop de-fusion: the mutation suite asserts on exact degraded
+// event sequences, and the fusion fast path's exactness argument only
+// covers honest forwarding. The zero Tamper re-arms fusion (unless
+// the config or a tracer disabled it).
+func (n *Network) SetTamper(t Tamper) {
+	n.tamper = t
+	n.applyFuse()
+}
 
 // TamperCredits forges flow-control state: it adds delta (possibly
 // negative) to the credit counter of switch s's output port toward

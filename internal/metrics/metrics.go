@@ -109,6 +109,14 @@ type Collector struct {
 	highestSeq      map[[2]int]uint64
 	OrderedDelivery uint64
 
+	// highestSeqDense replaces the highestSeq map when Attach learns
+	// the host count: slot src*numHosts+dst holds the flow's highest
+	// delivered SeqNo plus one (zero = flow unseen). The order check
+	// runs on every delivery; the dense form drops the per-delivery map
+	// hash and growth churn. numHosts == 0 falls back to the map.
+	highestSeqDense []uint64
+	numHosts        int
+
 	// Reorder, when set before Attach, simulates destination-side
 	// reordering (§1's sketch): every delivery passes through the
 	// buffer and its occupancy/delay statistics quantify what
@@ -141,6 +149,8 @@ func (c *Collector) DroppedTotal() uint64 {
 func (c *Collector) Attach(net *fabric.Network) {
 	c.numSwitches = net.Topo.NumSwitches
 	c.engine = net.Engine
+	c.numHosts = net.Topo.NumHosts()
+	c.highestSeqDense = make([]uint64, c.numHosts*c.numHosts)
 	if p := net.ShardCount(); p > 1 {
 		c.attachSharded(net, p)
 		return
@@ -159,12 +169,14 @@ func (c *Collector) attachSharded(net *fabric.Network, shards int) {
 	c.children = make([]*Collector, shards)
 	for i := range c.children {
 		ch := &Collector{
-			WarmupEnd:   c.WarmupEnd,
-			MeasureEnd:  c.MeasureEnd,
-			numSwitches: c.numSwitches,
+			WarmupEnd:       c.WarmupEnd,
+			MeasureEnd:      c.MeasureEnd,
+			numSwitches:     c.numSwitches,
+			numHosts:        c.numHosts,
+			highestSeqDense: make([]uint64, c.numHosts*c.numHosts),
 		}
 		if c.Reorder != nil {
-			ch.Reorder = reorder.NewBuffer()
+			ch.Reorder = reorder.NewBufferForHosts(c.numHosts)
 			ch.Reorder.TrackSteps = true
 		}
 		c.children[i] = ch
@@ -248,15 +260,25 @@ func (c *Collector) onDelivered(p *ib.Packet) {
 	}
 	// Order tracking covers every delivery (not only the window) so
 	// flows spanning the warm-up boundary are judged correctly.
-	if c.highestSeq == nil {
-		c.highestSeq = make(map[[2]int]uint64)
-	}
-	key := [2]int{p.Src, p.Dst}
-	if last, ok := c.highestSeq[key]; ok && p.SeqNo < last {
-		c.OutOfOrder++
+	if c.numHosts > 0 {
+		di := p.Src*c.numHosts + p.Dst
+		if last := c.highestSeqDense[di]; last != 0 && p.SeqNo < last-1 {
+			c.OutOfOrder++
+		} else {
+			c.highestSeqDense[di] = p.SeqNo + 1
+			c.OrderedDelivery++
+		}
 	} else {
-		c.highestSeq[key] = p.SeqNo
-		c.OrderedDelivery++
+		if c.highestSeq == nil {
+			c.highestSeq = make(map[[2]int]uint64)
+		}
+		key := [2]int{p.Src, p.Dst}
+		if last, ok := c.highestSeq[key]; ok && p.SeqNo < last {
+			c.OutOfOrder++
+		} else {
+			c.highestSeq[key] = p.SeqNo
+			c.OrderedDelivery++
+		}
 	}
 	if c.Reorder != nil {
 		c.Reorder.Deliver(p, now)

@@ -7,13 +7,65 @@
 package prof
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"sync/atomic"
 )
+
+// Hot-path phase labels. The fabric wraps its forwarding phases in
+// Phase(...) so CPU profiles and execution traces attribute samples to
+// the route/arbitrate/depart stages — and, separately, to the fused
+// fast path — instead of one undifferentiated switch body.
+const (
+	PhaseRoute     = "route"     // switch.receive: table access + buffer insert
+	PhaseArbitrate = "arbitrate" // legacy delay-0 allocation pass
+	PhaseDepart    = "depart"    // startTx: credit reserve + event fan-out
+	PhaseFused     = "fused"     // fused kick: inline allocation/injection pass
+)
+
+// hotPhases gates the Phase wrappers. Labeling costs a goroutine-label
+// swap per call, far too hot for the default run, so the fabric checks
+// HotPhasesEnabled (one atomic load) and calls Phase only while a CPU
+// profile or execution trace is actually being captured; Config.Start
+// flips the gate for its lifetime.
+var hotPhases atomic.Bool
+
+// SetHotPhases arms or disarms the hot-path phase labels. Exposed for
+// tests; production callers let Config.Start manage it.
+func SetHotPhases(on bool) { hotPhases.Store(on) }
+
+// HotPhasesEnabled reports whether hot-path phase labeling is armed.
+func HotPhasesEnabled() bool { return hotPhases.Load() }
+
+// phaseCtxs caches one labeled context per known phase so steady-state
+// labeling does not rebuild the label set per call.
+var phaseCtxs = map[string]context.Context{
+	PhaseRoute:     phaseCtx(PhaseRoute),
+	PhaseArbitrate: phaseCtx(PhaseArbitrate),
+	PhaseDepart:    phaseCtx(PhaseDepart),
+	PhaseFused:     phaseCtx(PhaseFused),
+}
+
+// phaseCtx builds the labeled context carrying phase=name.
+func phaseCtx(name string) context.Context {
+	return pprof.WithLabels(context.Background(), pprof.Labels("phase", name))
+}
+
+// Phase runs f with the goroutine labeled phase=name, so profile
+// samples taken inside attribute to that phase. Callers should gate on
+// HotPhasesEnabled — Phase itself always labels.
+func Phase(name string, f func()) {
+	ctx, ok := phaseCtxs[name]
+	if !ok {
+		ctx = phaseCtx(name)
+	}
+	pprof.Do(ctx, pprof.Labels(), func(context.Context) { f() })
+}
 
 // Config holds the three profile destinations; empty means disabled.
 type Config struct {
@@ -68,7 +120,14 @@ func (c *Config) Start() (stop func(), err error) {
 			return nil, fmt.Errorf("prof: %w", err)
 		}
 	}
+	if c.CPU != "" || c.Trace != "" {
+		// Arm the hot-path phase labels only while samples are actually
+		// being captured; the fabric's forwarding path checks the gate
+		// with one atomic load.
+		SetHotPhases(true)
+	}
 	return func() {
+		SetHotPhases(false)
 		cleanup()
 		if c.Mem != "" {
 			f, err := os.Create(c.Mem)

@@ -30,6 +30,16 @@ type Buffer struct {
 	expected map[flowKey]uint64
 	held     map[flowKey]map[uint64]*ib.Packet
 
+	// expectedDense replaces the expected map when the host count is
+	// known up front (NewBufferForHosts): one slot per (src, dst) pair,
+	// indexed src*numHosts+dst. The expected counter is read and
+	// written on every delivery, and at a sweep's packet rates the map
+	// hash and growth churn were a measurable slice of the run; the
+	// held/arrival maps stay maps — they are only touched by the parked
+	// minority. numHosts == 0 means the map representation is in use.
+	expectedDense []uint64
+	numHosts      int
+
 	// Stats.
 	Parked       uint64 // packets that had to wait
 	PassedThru   uint64 // packets released immediately
@@ -69,6 +79,19 @@ func NewBuffer() *Buffer {
 	}
 }
 
+// NewBufferForHosts returns an empty reorder buffer for a subnet of
+// numHosts hosts, storing the per-flow expected counters densely (see
+// Buffer.expectedDense). Src and Dst of every delivered packet must be
+// below numHosts.
+func NewBufferForHosts(numHosts int) *Buffer {
+	return &Buffer{
+		expectedDense: make([]uint64, numHosts*numHosts),
+		numHosts:      numHosts,
+		held:          make(map[flowKey]map[uint64]*ib.Packet),
+		arrival:       make(map[uint64]sim.Time),
+	}
+}
+
 // closeStep samples the occupancy at the end of the timestamp that
 // just finished (lastAt).
 func (b *Buffer) closeStep() {
@@ -93,7 +116,14 @@ func (b *Buffer) Deliver(p *ib.Packet, now sim.Time) []*ib.Packet {
 	}
 	b.lastAt, b.hasLast = now, true
 	key := flowKey{src: p.Src, dst: p.Dst}
-	next := b.expected[key]
+	var next uint64
+	di := -1
+	if b.numHosts > 0 {
+		di = p.Src*b.numHosts + p.Dst
+		next = b.expectedDense[di]
+	} else {
+		next = b.expected[key]
+	}
 	if p.SeqNo != next {
 		// Early: park it. (Late duplicates cannot happen — the fabric
 		// neither drops nor duplicates — so SeqNo > next always.)
@@ -122,7 +152,11 @@ func (b *Buffer) Deliver(p *ib.Packet, now sim.Time) []*ib.Packet {
 		out = append(out, q)
 		next++
 	}
-	b.expected[key] = next
+	if di >= 0 {
+		b.expectedDense[di] = next
+	} else {
+		b.expected[key] = next
+	}
 	b.out = out
 	return out
 }

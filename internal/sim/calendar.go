@@ -104,6 +104,67 @@ func (q *calendarQueue) pop() event {
 			return q.overflow.pop()
 		}
 	}
+	q.dropHead(s)
+	return e
+}
+
+// popAtMost pops the earliest event if due at or before horizon, in
+// one cursor walk — the dispatch loop's fused peekTime+pop.
+func (q *calendarQueue) popAtMost(horizon Time) (event, bool) {
+	if !q.nextWheel() {
+		if q.overflow.len() == 0 || q.overflow.peekTime() > horizon {
+			return event{}, false
+		}
+		q.migrate()
+	}
+	s := q.slots[q.cur]
+	e := s[q.head]
+	if q.overflow.len() > 0 {
+		if o := q.overflow.peek(); eventLess(o, e) {
+			if o.at > horizon {
+				return event{}, false
+			}
+			return q.overflow.pop(), true
+		}
+	}
+	if e.at > horizon {
+		return event{}, false
+	}
+	q.dropHead(s)
+	return e, true
+}
+
+// popBefore pops the earliest event if it orders strictly before bound
+// under the full dispatch order. The engine calls it only when
+// hasEventAt says something shares the current timestamp, so the
+// cursor work here is the same walk the following pop would do anyway.
+func (q *calendarQueue) popBefore(bound event) (event, bool) {
+	if !q.nextWheel() {
+		if q.overflow.len() == 0 || !eventLess(q.overflow.peek(), bound) {
+			return event{}, false
+		}
+		q.migrate()
+	}
+	s := q.slots[q.cur]
+	e := s[q.head]
+	if q.overflow.len() > 0 {
+		if o := q.overflow.peek(); eventLess(o, e) {
+			if !eventLess(o, bound) {
+				return event{}, false
+			}
+			return q.overflow.pop(), true
+		}
+	}
+	if !eventLess(e, bound) {
+		return event{}, false
+	}
+	q.dropHead(s)
+	return e, true
+}
+
+// dropHead consumes the cursor bucket's head slot after its event has
+// been read out, recycling the bucket backing once drained.
+func (q *calendarQueue) dropHead(s []event) {
 	s[q.head] = event{} // release the action for GC
 	q.head++
 	if q.head == len(s) {
@@ -112,7 +173,6 @@ func (q *calendarQueue) pop() event {
 		q.head = 0
 	}
 	q.count--
-	return e
 }
 
 // peek returns the earliest event without removing it, under the same
@@ -145,6 +205,39 @@ func (q *calendarQueue) peekTime() Time {
 		}
 	}
 	return t
+}
+
+// hasEventAt reports whether any pending event is scheduled at or
+// before t, WITHOUT advancing the cursor — the hop-fusion quiescence
+// probe runs once per fused hop, and paying nextWheel's empty-bucket
+// walk there doubled the scan work per event. Under the interface
+// precondition (no pending event predates t), an event at <= t can
+// only be the overflow minimum or live in the one wheel bucket whose
+// window contains t: buckets behind the cursor were drained before the
+// cursor passed them, pushes behind a parked cursor route to the
+// overflow, and ring-aliased occupants of slotIndex(t) carry at >= t +
+// span, which the explicit at <= t filter rejects. The cursor bucket's
+// undrained remainder is kept sorted, so there a head inspection
+// suffices; any other bucket is unsorted and scanned whole (buckets
+// hold a handful of events at steady state).
+func (q *calendarQueue) hasEventAt(t Time) bool {
+	if q.overflow.len() > 0 && q.overflow.peekTime() <= t {
+		return true
+	}
+	if q.count == 0 {
+		return false
+	}
+	i := q.slotIndex(t)
+	s := q.slots[i]
+	if i == q.cur {
+		return q.head < len(s) && s[q.head].at <= t
+	}
+	for j := range s {
+		if s[j].at <= t {
+			return true
+		}
+	}
+	return false
 }
 
 // nextWheel parks the cursor on the bucket holding the earliest wheel

@@ -16,6 +16,20 @@ type Engine struct {
 	processed uint64
 	running   bool
 	arena     *QueueArena
+
+	// imm is the immediate-event FIFO: delay-0 events scheduled while
+	// the engine is mid-dispatch. Such an event's packed key carries age
+	// ^(at-schedAt) = ^0, the maximum, so it provably orders after
+	// every same-timestamp event already in the queue (whose age fields
+	// are all smaller) and among its peers by sequence — i.e. exactly
+	// FIFO. Keeping them out of the wheel replaces a sorted-bucket
+	// insert and cursor pop per delay-0 event (the dominant event kind
+	// of a saturated switch: every coalesced allocation-pass kick) with
+	// a slice append and read. imm drains completely before Run or
+	// RunBefore returns, so it is empty whenever the coordinator peeks
+	// or steps an engine between windows.
+	imm     []event
+	immHead int
 }
 
 // NewEngine returns an engine with the clock at zero and an empty
@@ -79,7 +93,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns the number of events currently scheduled.
-func (e *Engine) Pending() int { return e.queue.len() }
+func (e *Engine) Pending() int { return e.queue.len() + (len(e.imm) - e.immHead) }
 
 // Schedule runs fn after delay nanoseconds of simulated time.
 // A negative delay panics: allowing it would silently reorder causality.
@@ -119,6 +133,14 @@ func (e *Engine) AtAction(t Time, a Action) {
 	}
 	if a == nil {
 		panic("sim: nil event action")
+	}
+	if t == e.now && e.running {
+		// Delay-0 mid-dispatch: goes to the immediate FIFO (see the imm
+		// field). Outside Run (setup code, merged control phases driven
+		// by Step) the event takes the queue path so cross-engine peeks
+		// see it.
+		e.imm = append(e.imm, event{at: t, key: eventKey(t, e.now, e.nextSeq()), act: a})
+		return
 	}
 	e.queue.push(event{at: t, key: eventKey(t, e.now, e.nextSeq()), act: a})
 }
@@ -173,7 +195,25 @@ func (e *Engine) AdvanceTo(t Time) {
 
 // NextEventTime returns the timestamp of the earliest pending event,
 // or Forever if the queue is empty.
-func (e *Engine) NextEventTime() Time { return e.queue.peekTime() }
+func (e *Engine) NextEventTime() Time {
+	if e.immHead < len(e.imm) {
+		return e.now // an undrained immediate shares the current timestamp
+	}
+	return e.queue.peekTime()
+}
+
+// Quiescent reports whether no pending event shares the current
+// timestamp — the event being dispatched right now is the last one at
+// Now on this engine. This is the fabric's hop-fusion precondition:
+// when the dispatching event is alone on its timestamp, a delay-0
+// follow-up it would schedule must be popped immediately next with no
+// intervening dispatch, so running that follow-up inline is
+// observationally identical to scheduling it. The probe never moves
+// the calendar cursor (see calendarQueue.hasEventAt), so running it
+// once per fused hop costs a bucket inspection, not a wheel walk.
+func (e *Engine) Quiescent() bool {
+	return e.immHead >= len(e.imm) && !e.queue.hasEventAt(e.now)
+}
 
 // peekKey returns the full (at, schedAt) dispatch key of the earliest
 // pending event. It must not be called on an empty queue; the shard
@@ -211,19 +251,53 @@ func (e *Engine) Run(horizon Time) {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for e.queue.len() > 0 {
-		t := e.queue.peekTime()
-		if t > horizon {
-			break
+	e.dispatchLoop(horizon)
+	// When the queue drains before the horizon the clock stays at the
+	// last dispatched event; callers that need the horizon time read it
+	// from their own config.
+}
+
+// dispatchLoop is the shared Run/RunBefore body: dispatch queue events
+// due at or before horizon, merging the immediate FIFO in at its exact
+// key position. An immediate is always at == now <= horizon (it was
+// appended while dispatching an event that passed the horizon check),
+// so the loop can never return while imm is nonempty — imm is provably
+// drained on exit.
+func (e *Engine) dispatchLoop(horizon Time) {
+	for {
+		if e.immHead < len(e.imm) {
+			ie := e.imm[e.immHead]
+			// A queue event sharing the timestamp dispatches first iff it
+			// orders before ie under the full key — which it does unless
+			// it is itself a delay-0 event scheduled after ie (impossible:
+			// mid-dispatch delay-0s all land in imm). hasEventAt is the
+			// cheap guard; popBefore settles the key comparison exactly.
+			if e.queue.hasEventAt(e.now) {
+				if ev, ok := e.queue.popBefore(ie); ok {
+					e.now = ev.at
+					e.processed++
+					ev.act.Do()
+					continue
+				}
+			}
+			e.imm[e.immHead] = event{} // release the action for GC
+			e.immHead++
+			if e.immHead == len(e.imm) {
+				e.imm = e.imm[:0]
+				e.immHead = 0
+			}
+			e.processed++
+			ie.act.Do() // ie.at == e.now already
+			continue
 		}
-		ev := e.queue.pop()
+		ev, ok := e.queue.popAtMost(horizon)
+		if !ok {
+			return
+		}
 		e.now = ev.at
 		e.processed++
 		ev.act.Do()
 	}
-	// When the queue drains before the horizon the clock stays at the
-	// last dispatched event; callers that need the horizon time read it
-	// from their own config.
 }
 
 // RunBefore dispatches every pending event strictly earlier than end,
@@ -239,16 +313,7 @@ func (e *Engine) RunBefore(end Time) {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for e.queue.len() > 0 {
-		t := e.queue.peekTime()
-		if t >= end {
-			break
-		}
-		ev := e.queue.pop()
-		e.now = ev.at
-		e.processed++
-		ev.act.Do()
-	}
+	e.dispatchLoop(end - 1)
 }
 
 // RunUntilIdle dispatches every scheduled event regardless of time.

@@ -97,7 +97,24 @@ type eventQueue interface {
 	len() int
 	push(event)
 	pop() event
+	// popAtMost pops and returns the earliest event if its timestamp is
+	// at or before horizon; otherwise it leaves the queue untouched and
+	// reports false. It fuses the peekTime+pop pair the dispatch loop
+	// would otherwise issue — for the calendar that is one cursor walk
+	// instead of two per dispatched event.
+	popAtMost(horizon Time) (event, bool)
+	// popBefore pops and returns the earliest event if it orders
+	// strictly before bound under the full (at, key) dispatch order.
+	// The engine uses it to merge its immediate-event FIFO (see
+	// Engine.imm) against the queue.
+	popBefore(bound event) (event, bool)
 	peekTime() Time
+	// hasEventAt reports whether any pending event is scheduled at or
+	// before t. Callers pass the engine clock mid-dispatch, so every
+	// pending event satisfies at >= t and the probe is really "does
+	// anything share the current timestamp" — which implementations can
+	// answer without the full earliest-event search peekTime performs.
+	hasEventAt(t Time) bool
 }
 
 // heapQueue is a binary min-heap of events ordered by (at, seq).
@@ -161,6 +178,22 @@ func (q *heapQueue) siftDown(i int) {
 // called on an empty queue.
 func (q *heapQueue) peek() event { return q.ev[0] }
 
+// popAtMost pops the root if it is due at or before horizon.
+func (q *heapQueue) popAtMost(horizon Time) (event, bool) {
+	if len(q.ev) == 0 || q.ev[0].at > horizon {
+		return event{}, false
+	}
+	return q.pop(), true
+}
+
+// popBefore pops the root if it orders strictly before bound.
+func (q *heapQueue) popBefore(bound event) (event, bool) {
+	if len(q.ev) == 0 || !eventLess(q.ev[0], bound) {
+		return event{}, false
+	}
+	return q.pop(), true
+}
+
 // peekTime returns the timestamp of the earliest event, or Forever if
 // the queue is empty.
 func (q *heapQueue) peekTime() Time {
@@ -168,6 +201,12 @@ func (q *heapQueue) peekTime() Time {
 		return Forever
 	}
 	return q.ev[0].at
+}
+
+// hasEventAt reports whether any event is scheduled at or before t —
+// for the heap just a root inspection.
+func (q *heapQueue) hasEventAt(t Time) bool {
+	return len(q.ev) > 0 && q.ev[0].at <= t
 }
 
 // reset empties the heap for reuse, keeping the backing array.

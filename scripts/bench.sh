@@ -15,6 +15,11 @@
 #   BENCH_eventq.json  — the sweep parsed, with the pre-calendar
 #                        (binary-heap, PR 1) baselines embedded so one
 #                        file carries the before/after comparison.
+#   BENCH_fusion.txt   — hop-fusion differential: the fused fast path
+#                        against the -fuse=off per-hop event oracle, at
+#                        the single-traversal and end-to-end levels.
+#   BENCH_fusion.json  — the differential parsed, with fused/unfused
+#                        speedup columns.
 #
 # The suite covers the three hot-path layers (table lookup, engine
 # push/pop, one switch traversal) plus the end-to-end Figure 3
@@ -90,6 +95,48 @@ awk '
   }
 ' "$eq_txt" > "$eq_json"
 
+# Hop-fusion differential. The fused and unfused engines are
+# bit-identical in results (the fusion differential suite enforces
+# it), so the pair is purely a wall-clock measurement: the unfused
+# numbers are the per-hop event oracle, and the speedup columns are
+# what fusing the uncongested arrival→route→arbitrate→depart chain
+# into single dispatches buys at each level.
+fu_txt=BENCH_fusion.txt
+fu_json=BENCH_fusion.json
+
+{
+  go test -run '^$' -bench 'BenchmarkSwitchHop$|BenchmarkSwitchHopUnfused$' \
+    -benchmem -count "$count" ./internal/fabric/
+  go test -run '^$' -bench 'BenchmarkFigure3$|BenchmarkFigure3Unfused$' \
+    -benchmem -benchtime 3x -count "$count" .
+} | tee "$fu_txt"
+
+awk '
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns[name] = $3; b[name] = $5; al[name] = $7
+    if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+  }
+  END {
+    printf "{\n"
+    for (i = 1; i <= n; i++) {
+      k = order[i]
+      printf "  \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s},\n",
+        k, ns[k], b[k], al[k]
+    }
+    hop = "BenchmarkSwitchHop"; hopu = "BenchmarkSwitchHopUnfused"
+    fig = "BenchmarkFigure3"; figu = "BenchmarkFigure3Unfused"
+    printf "  \"fusion_speedup\": {"
+    if (ns[hop] > 0 && ns[hopu] > 0)
+      printf "\"switch_hop\": %.3f", ns[hopu] / ns[hop]
+    if (ns[fig] > 0 && ns[figu] > 0)
+      printf ", \"figure3\": %.3f", ns[figu] / ns[fig]
+    printf "}\n"
+    printf "}\n"
+  }
+' "$fu_txt" > "$fu_json"
+
 # Sharded-engine scaling sweep. BenchmarkFigure3Shards regenerates the
 # 64-switch Figure 3 panel sequentially and at 2/4/8 shards; results
 # are bit-identical (the shard differential suite enforces it), so the
@@ -134,4 +181,4 @@ awk -v cores="$cores" '
   }
 ' "$sh_txt" > "$sh_json"
 
-echo "wrote $out_txt, $out_json, $eq_txt, $eq_json, $sh_txt and $sh_json"
+echo "wrote $out_txt, $out_json, $eq_txt, $eq_json, $fu_txt, $fu_json, $sh_txt and $sh_json"

@@ -29,6 +29,18 @@ go test -run 'TestFigure3Deterministic|TestFigure3GoldenSharded' -v ./internal/e
 echo "==> determinism golden under -check (auditor must not perturb results)"
 go test -count=1 -run 'TestFigure3GoldenChecked' -v ./internal/experiments/
 
+echo "==> determinism golden with fusion off (per-hop oracle reproduces the artifact)"
+go test -count=1 -run 'TestFigure3GoldenUnfused' -v ./internal/experiments/
+
+echo "==> hop-fusion differential (fused vs unfused bit-exact; trace/tamper de-fusion)"
+# The experiments matrix covers wheel geometries, both schedulers,
+# shard counts, -check, a fault campaign and a contention storm; the
+# fabric tests pin the runtime arm/disarm transitions. The ZeroAllocs
+# gate above already holds the unfused oracle to the same 0 allocs/op
+# bar (TestSwitchHopZeroAllocsUnfused matches its pattern).
+go test -count=1 -run 'TestFusion|TestTamperDefuses|TestDefuseIsSticky' -v ./internal/fabric/
+go test -count=1 -run 'TestFusion' -v ./internal/experiments/
+
 echo "==> mutation smoke (every seeded model break trips its named invariant)"
 go test -count=1 -run 'TestMutation' -v ./internal/check/
 
