@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"ibasim/internal/experiments"
+	"ibasim/internal/sim"
 	"ibasim/internal/topology"
 	"ibasim/internal/traffic"
 )
@@ -75,14 +76,11 @@ func BenchmarkFigure3Unfused(b *testing.B) {
 // engine takes its inline path and the sweep measures pure
 // coordination overhead instead of speedup.
 func BenchmarkFigure3Shards(b *testing.B) {
-	for _, shards := range []int{0, 2, 4, 8} {
-		name := "seq"
-		if shards > 0 {
-			name = fmt.Sprintf("shards=%d", shards)
-		}
+	run := func(name string, shards int, lag int64) {
 		b.Run(name, func(b *testing.B) {
 			sc := benchScale()
 			sc.Shards = shards
+			sc.Lag = sim.Time(lag)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := experiments.Figure3(sc, 64)
@@ -95,6 +93,13 @@ func BenchmarkFigure3Shards(b *testing.B) {
 			}
 		})
 	}
+	run("seq", 0, 0)
+	for _, shards := range []int{2, 4, 8} {
+		run(fmt.Sprintf("shards=%d", shards), shards, 0)
+	}
+	// The relaxed-exactness mode at the validated operating lag (2× the
+	// cross-shard channel delay): fewer barriers on the same partition.
+	run("shards=4-lag=200", 4, 200)
 }
 
 // BenchmarkTable1Left regenerates Table 1's left side configuration

@@ -84,6 +84,8 @@ func main() {
 	engine := flag.String("engine", "seq", "execution engine: seq (single event loop) or shard (conservative-parallel; bit-identical results)")
 	shards := flag.Int("shards", 0, "shard count for -engine shard (default 2; clamped to the switch count)")
 	partition := flag.String("partition", "", "shard partitioner: bfs (locality, default) or roundrobin")
+	lag := flag.Int64("lag", 0, "relaxed-exactness window slack in simulated ns for -engine shard (0 = bit-exact)")
+	verbose := flag.Bool("v", false, "with -engine shard: append the per-shard imbalance report (events, stalls, cross-shard mail)")
 	check := flag.Bool("check", false, "enable heavy invariant audits on every run (results are bit-identical)")
 	fuse := flag.Bool("fuse", true, "hop-fusion fast path; -fuse=false runs the per-hop event engine (results are bit-identical)")
 	faultSpec := flag.String("faults", "rand:4:15000@50000-150000; autoreconfig:10000", "faults: campaign spec string or @file.json")
@@ -98,7 +100,7 @@ func main() {
 
 	// Reject unsupported flag combinations before any work starts; the
 	// FeatureSet table is the single source of truth for what composes.
-	if err := (ibasim.FeatureSet{Engine: *engine, Shards: *shards, Check: *check}).Validate(); err != nil {
+	if err := (ibasim.FeatureSet{Engine: *engine, Shards: *shards, LagNs: *lag, Check: *check}).Validate(); err != nil {
 		fail(err)
 	}
 
@@ -161,6 +163,7 @@ func main() {
 			sc.Shards = 2
 		}
 		sc.Partition = *partition
+		sc.Lag = sim.Time(*lag)
 	}
 	sc.Check = *check
 	sc.Unfused = !*fuse
@@ -251,4 +254,23 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown experiment %q", *exp))
 	}
+
+	if *verbose && sc.Shards > 1 {
+		fmt.Printf("\n== shard imbalance (%d switches, %d shards, %s partition) ==\n",
+			*switches, sc.Shards, partitionName(*partition))
+		stats, err := experiments.ShardImbalanceReport(sc, *switches)
+		if err != nil {
+			fail(err)
+		}
+		if err := experiments.WriteShardStats(os.Stdout, stats); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func partitionName(p string) string {
+	if p == "" {
+		return "bfs"
+	}
+	return p
 }

@@ -12,6 +12,7 @@ import "fmt"
 type FeatureSet struct {
 	Engine      string // "", "seq" or "shard"
 	Shards      int    // >1 only meaningful with Engine "shard"
+	LagNs       int64  // -lag: relaxed-exactness window slack, shard engine only
 	PacketTrace bool   // -packet-trace: per-packet lifecycle recorder
 	Check       bool   // -check: heavy invariant scans (compatible with everything)
 }
@@ -52,6 +53,23 @@ var featureRules = []featureRule{
 		},
 	},
 	{
+		name:    "lag-non-negative",
+		applies: func(f FeatureSet) bool { return f.LagNs < 0 },
+		err: func(f FeatureSet) error {
+			return fmt.Errorf("ibasim: negative lag %dns", f.LagNs)
+		},
+	},
+	{
+		// Lag widens the conservative windows of the shard barrier; on
+		// the sequential engine there are no windows to widen, so a lag
+		// request there is a misconfiguration, not a no-op.
+		name:    "lag-requires-shard-engine",
+		applies: func(f FeatureSet) bool { return f.LagNs > 0 && f.Engine != "shard" },
+		err: func(f FeatureSet) error {
+			return fmt.Errorf("ibasim: lag=%dns requires engine \"shard\"", f.LagNs)
+		},
+	},
+	{
 		// The tracer hangs off the Network-level hooks, which sharded
 		// runs leave to the per-shard observer chain; attaching it
 		// there would race with the shard workers.
@@ -77,5 +95,5 @@ func (f FeatureSet) Validate() error {
 // features assembles the Config's feature selection; packetTrace is
 // supplied by the entry point (SimulateTraced) rather than the Config.
 func (c Config) features(packetTrace bool) FeatureSet {
-	return FeatureSet{Engine: c.Engine, Shards: c.Shards, PacketTrace: packetTrace, Check: c.Check}
+	return FeatureSet{Engine: c.Engine, Shards: c.Shards, LagNs: c.LagNs, PacketTrace: packetTrace, Check: c.Check}
 }

@@ -23,6 +23,9 @@ func TestFeatureSetTable(t *testing.T) {
 		{"trace-seq", FeatureSet{Engine: "seq", PacketTrace: true}, ""},
 		{"trace-default-engine", FeatureSet{PacketTrace: true}, ""},
 
+		{"lag-shard", FeatureSet{Engine: "shard", Shards: 4, LagNs: 500}, ""},
+		{"lag-zero-seq", FeatureSet{Engine: "seq"}, ""},
+
 		{"check-seq", FeatureSet{Engine: "seq", Check: true}, ""},
 		{"check-shard", FeatureSet{Engine: "shard", Shards: 3, Check: true}, ""},
 		{"check-trace", FeatureSet{PacketTrace: true, Check: true}, ""},
@@ -31,6 +34,10 @@ func TestFeatureSetTable(t *testing.T) {
 		{"unknown-engine-wins", FeatureSet{Engine: "warp", Shards: 4}, `unknown engine "warp"`},
 		{"shards-on-seq", FeatureSet{Engine: "seq", Shards: 2}, `shards=2 requires engine "shard"`},
 		{"shards-on-default", FeatureSet{Shards: 3}, `shards=3 requires engine "shard"`},
+		{"lag-on-seq", FeatureSet{Engine: "seq", LagNs: 500}, `lag=500ns requires engine "shard"`},
+		{"lag-on-default", FeatureSet{LagNs: 200}, `lag=200ns requires engine "shard"`},
+		{"lag-negative", FeatureSet{Engine: "shard", Shards: 2, LagNs: -1}, "negative lag -1ns"},
+		{"lag-negative-wins-engine", FeatureSet{Engine: "seq", LagNs: -5}, "negative lag -5ns"},
 		{"trace-on-shard", FeatureSet{Engine: "shard", PacketTrace: true}, "packet tracing requires the sequential engine"},
 		{"trace-on-shard-with-check", FeatureSet{Engine: "shard", PacketTrace: true, Check: true}, "packet tracing requires the sequential engine"},
 	}
@@ -57,13 +64,15 @@ func TestCheckHasNoConflictRow(t *testing.T) {
 	engines := []string{"", "seq", "shard", "warp"}
 	for _, eng := range engines {
 		for _, shards := range []int{0, 1, 2} {
-			for _, tr := range []bool{false, true} {
-				base := FeatureSet{Engine: eng, Shards: shards, PacketTrace: tr}
-				withCheck := base
-				withCheck.Check = true
-				errBase, errCheck := base.Validate(), withCheck.Validate()
-				if (errBase == nil) != (errCheck == nil) {
-					t.Fatalf("Check changed verdict for %+v: %v vs %v", base, errBase, errCheck)
+			for _, lag := range []int64{-1, 0, 100} {
+				for _, tr := range []bool{false, true} {
+					base := FeatureSet{Engine: eng, Shards: shards, LagNs: lag, PacketTrace: tr}
+					withCheck := base
+					withCheck.Check = true
+					errBase, errCheck := base.Validate(), withCheck.Validate()
+					if (errBase == nil) != (errCheck == nil) {
+						t.Fatalf("Check changed verdict for %+v: %v vs %v", base, errBase, errCheck)
+					}
 				}
 			}
 		}

@@ -2,6 +2,7 @@ package ibasim
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -39,7 +40,7 @@ func TestSimulateReproducible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("same config diverged: %+v vs %+v", a, b)
 	}
 }

@@ -7,6 +7,7 @@ package check_test
 // result that shifts when it must not).
 
 import (
+	"reflect"
 	"testing"
 
 	"ibasim/internal/experiments"
@@ -59,7 +60,7 @@ func TestMetamorphicLMCInvariance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resBase != resWide {
+	if !reflect.DeepEqual(resBase, resWide) {
 		t.Fatalf("LMC widening changed observables:\nLMC1: %+v\nLMC2: %+v", resBase, resWide)
 	}
 }
@@ -116,7 +117,7 @@ func TestMetamorphicSeedPermutation(t *testing.T) {
 	}
 	for i := len(seeds) - 1; i >= 0; i-- {
 		s := seeds[i]
-		if again := runSeed(s); again != forward[s] {
+		if again := runSeed(s); !reflect.DeepEqual(again, forward[s]) {
 			t.Fatalf("seed %d result depends on run order:\nfirst:  %+v\nsecond: %+v", s, forward[s], again)
 		}
 	}

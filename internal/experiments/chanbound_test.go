@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"ibasim/internal/fabric"
+	"ibasim/internal/faults"
+	"ibasim/internal/sim"
+)
+
+// These tests check the channel delay matrix against live traffic:
+// every cross-shard mail the coordinator actually moves must carry at
+// least the delay the matrix promised for its (src, dst) channel —
+// (at - schedAt) >= bounds[src][dst]. The fabric package proves the
+// matrix analytically; this is the end-to-end soundness check the
+// window formula rests on, swept across the calendar geometries the
+// other differentials use and a retry-heavy fault campaign.
+
+// auditMailBounds runs the spec sharded and returns descriptions of
+// every mail that undercut its channel bound, plus how many mails were
+// checked.
+func auditMailBounds(t *testing.T, spec RunSpec, shards int) (violations []string, mails int) {
+	t.Helper()
+	s := spec
+	s.Fabric.Shards = shards
+	s.Fabric.Partition = fabric.PartitionBFS
+	_, err := RunObserved(s, func(net *fabric.Network) {
+		bounds := net.ChannelBounds()
+		if bounds == nil {
+			t.Fatal("sharded network has no channel bounds")
+		}
+		net.SetMailObserver(func(src, dst int, at, schedAt sim.Time) {
+			mails++
+			if delay := at - schedAt; delay < bounds[src][dst] {
+				if len(violations) < 10 {
+					violations = append(violations, fmt.Sprintf(
+						"mail %d->%d at=%d schedAt=%d delay=%d < bound %d",
+						src, dst, at, schedAt, delay, bounds[src][dst]))
+				}
+			}
+		})
+	})
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	return violations, mails
+}
+
+func TestChannelBoundsSoundLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations per wheel geometry")
+	}
+	topo := shardDiffTopo(t)
+	geometries := []struct{ slotBits, widthBits uint }{
+		{3, 0}, {3, 2}, {4, 1}, {6, 3}, {12, 2},
+	}
+	for _, g := range geometries {
+		t.Run(fmt.Sprintf("wheel-%d-%d", g.slotBits, g.widthBits), func(t *testing.T) {
+			spec := shardDiffSpec(topo, sim.WithWheelGeometry(g.slotBits, g.widthBits))
+			for _, shards := range []int{2, 4, 7} {
+				violations, mails := auditMailBounds(t, spec, shards)
+				if mails == 0 {
+					t.Fatalf("shards=%d: no cross-shard mail observed — test is vacuous", shards)
+				}
+				for _, msg := range violations {
+					t.Errorf("shards=%d: %s", shards, msg)
+				}
+			}
+		})
+	}
+}
+
+// TestChannelBoundsSoundFaults repeats the audit under a fault
+// campaign: link flaps put drop/retry paths on the cross-shard
+// channels, whose delays (credit return after exactly the propagation
+// delay, requeue after the backoff floor) are the matrix's tightest
+// edges. Downed links must never produce mail faster than the
+// full-topology matrix promised.
+func TestChannelBoundsSoundFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full fault campaigns")
+	}
+	topo := shardDiffTopo(t)
+	l0, l1 := topo.Links[0], topo.Links[1]
+	camp := &faults.Campaign{
+		Events: []faults.Event{
+			{At: 40_000, Kind: faults.LinkDown, A: l0.A, B: l0.B},
+			{At: 70_000, Kind: faults.LinkUp, A: l0.A, B: l0.B},
+			{At: 80_000, Kind: faults.LinkDown, A: l1.A, B: l1.B},
+			{At: 130_000, Kind: faults.LinkUp, A: l1.A, B: l1.B},
+		},
+		AutoReconfig: 5_000,
+		Watchdog:     faults.WatchdogConfig{SampleEvery: 5_000, Horizon: 120_000},
+	}
+	spec := shardDiffSpec(topo)
+	spec.Measure = 150_000
+	spec.DrainGrace = 80_000
+	spec.Faults = camp
+	spec.FaultSeed = 3
+	for _, shards := range []int{2, 4, 7} {
+		violations, mails := auditMailBounds(t, spec, shards)
+		if mails == 0 {
+			t.Fatalf("shards=%d: no cross-shard mail observed", shards)
+		}
+		for _, msg := range violations {
+			t.Errorf("shards=%d: %s", shards, msg)
+		}
+	}
+}

@@ -31,6 +31,9 @@ func fuseVariant(t *testing.T, spec RunSpec, fuse bool, shards int) RunResult {
 	if err != nil {
 		t.Fatalf("fuse=%v shards=%d: %v", fuse, shards, err)
 	}
+	// ShardStats is an execution artifact, not a simulation observable;
+	// the differential compares results with it cleared.
+	res.ShardStats = nil
 	return res
 }
 

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ibasim/internal/fabric"
+	"ibasim/internal/traffic"
+)
+
+// ShardImbalanceReport runs one representative saturated simulation —
+// the Figure 3 setup (uniform traffic, 32-byte packets, MR 2, 100%
+// adaptive) at the scale's highest load on its first topology — under
+// the scale's shard settings and returns the per-shard execution
+// counters. It is the diagnostic behind ibbench -v: when a sharded
+// sweep scales poorly, this shows whether the partitioner starved a
+// shard (Events skew), the conservative windows were too tight
+// (Stalled, Held), or cross-shard traffic dominated (MailsOut/In).
+func ShardImbalanceReport(sc Scale, switches int) ([]fabric.ShardStat, error) {
+	if sc.Shards <= 1 {
+		return nil, fmt.Errorf("experiments: shard imbalance report needs Shards > 1 (have %d)", sc.Shards)
+	}
+	topos, err := sc.topoSet(switches, 4)
+	if err != nil {
+		return nil, err
+	}
+	topo := topos[0]
+	spec := sc.Spec(topo, 2, 32, 1.0, traffic.Uniform{NumHosts: topo.NumHosts()}, sc.FirstSeed, true)
+	spec.Traffic.LoadBytesPerNsPerHost = sc.LoadHi
+	res, err := Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	return res.ShardStats, nil
+}
+
+// WriteShardStats prints a per-shard imbalance table in the repo's
+// tab-separated, #-commented format, followed by the two summary
+// ratios that matter for scaling: event imbalance (max/mean events —
+// 1.00 is a perfect partition; the slowest shard gates every window)
+// and the stall fraction (share of activated windows a shard hit its
+// conservative bound with work still pending).
+func WriteShardStats(w io.Writer, stats []fabric.ShardStat) error {
+	if len(stats) == 0 {
+		_, err := fmt.Fprintln(w, "# shard stats: sequential run (no shards)")
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "# shard\tswitches\thosts\tevents\twindows\tstalled\theld\tmails-out\tmails-in"); err != nil {
+		return err
+	}
+	var totalEvents, maxEvents, totalWindows, totalStalled uint64
+	for _, s := range stats {
+		if _, err := fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			s.Shard, s.Switches, s.Hosts, s.Events, s.Windows, s.Stalled, s.Held, s.MailsOut, s.MailsIn); err != nil {
+			return err
+		}
+		totalEvents += s.Events
+		if s.Events > maxEvents {
+			maxEvents = s.Events
+		}
+		totalWindows += s.Windows
+		totalStalled += s.Stalled
+	}
+	mean := float64(totalEvents) / float64(len(stats))
+	imbalance := 0.0
+	if mean > 0 {
+		imbalance = float64(maxEvents) / mean
+	}
+	stallFrac := 0.0
+	if totalWindows > 0 {
+		stallFrac = float64(totalStalled) / float64(totalWindows)
+	}
+	_, err := fmt.Fprintf(w, "# event imbalance (max/mean): %.2f, stalled windows: %.1f%%\n",
+		imbalance, stallFrac*100)
+	return err
+}

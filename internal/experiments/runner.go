@@ -86,6 +86,15 @@ type RunResult struct {
 
 	// Audit summarizes the invariant auditor's pass over the run.
 	Audit AuditStats
+
+	// ShardStats is the per-shard imbalance report of a sharded run
+	// (nil on the sequential engine): events dispatched, windows run
+	// and stalled, mail volume. An execution artifact, not a simulation
+	// observable — the same physical result reached at a different
+	// shard count reports different stats, so the bit-exactness
+	// differentials compare results with this field cleared and the
+	// artifact writer never serializes it.
+	ShardStats []fabric.ShardStat
 }
 
 // AuditStats condenses the auditor's report for result plumbing. The
@@ -229,6 +238,7 @@ func RunObserved(spec RunSpec, observe func(*fabric.Network)) (RunResult, error)
 			return res, err
 		}
 	}
+	res.ShardStats = net.ShardStats()
 	arep := aud.Finalize()
 	res.Audit = AuditStats{
 		HopChecks:  arep.HopChecks,
@@ -367,6 +377,12 @@ type Scale struct {
 	Shards    int
 	Partition string
 
+	// Lag opts sharded runs into the relaxed-exactness mode: window
+	// bounds widen by this many simulated nanoseconds and late imports
+	// clamp to the local clock (fabric.Config.Lag). 0 keeps sharded
+	// runs bit-identical to sequential.
+	Lag sim.Time
+
 	// Check enables the invariant auditor's heavy scans on every run
 	// (the -check CLI flag); results stay bit-identical.
 	Check bool
@@ -439,6 +455,7 @@ func (sc Scale) Spec(topo *topology.Topology, mr, pktSize int, adaptiveFrac floa
 	fcfg.EngineOpts = sc.EngineOpts
 	fcfg.Shards = sc.Shards
 	fcfg.Partition = sc.Partition
+	fcfg.Lag = sc.Lag
 	fcfg.Fuse = !sc.Unfused
 	return RunSpec{
 		Topo:    topo,

@@ -54,6 +54,10 @@ func runShardVariant(t *testing.T, spec RunSpec, shards int, partition string) R
 	if err != nil {
 		t.Fatalf("shards=%d partition=%q: %v", shards, partition, err)
 	}
+	// ShardStats is an execution artifact (how the work was scheduled),
+	// not a simulation observable; the bit-exactness contract compares
+	// results with it cleared.
+	res.ShardStats = nil
 	return res
 }
 

@@ -1,0 +1,186 @@
+package fabric
+
+import (
+	"testing"
+
+	"ibasim/internal/ib"
+	"ibasim/internal/sim"
+	"ibasim/internal/topology"
+)
+
+// The channel delay matrix is the shard coordinator's safety argument:
+// chanDist[j][i] must lower-bound the timestamp distance (at - schedAt)
+// of every event shard j can hand shard i, including multi-hop
+// influence chains and the echo of a shard's own event off a neighbour
+// (the diagonal). These tests pin the construction analytically; the
+// experiments package checks it against live cross-shard traffic.
+
+const prop = sim.Time(ib.PropagationDelay)
+
+func TestChannelDelayMatrixDirectCut(t *testing.T) {
+	// Two shards joined by one cut link: each direction is exactly the
+	// propagation delay, and each diagonal is the round-trip echo.
+	links := []topology.Link{{A: 0, B: 1}}
+	part := []int{0, 1}
+	d := channelDelayMatrix(links, part, 2, RetryConfig{})
+	want := [][]sim.Time{
+		{2 * prop, prop},
+		{prop, 2 * prop},
+	}
+	for i := range want {
+		for j := range want[i] {
+			if d[i][j] != want[i][j] {
+				t.Errorf("dist[%d][%d] = %v, want %v", i, j, d[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestChannelDelayMatrixInternalLinksIgnored(t *testing.T) {
+	// A link inside one shard contributes no channel: with nothing cut,
+	// every entry — diagonal included — stays Forever.
+	links := []topology.Link{{A: 0, B: 1}}
+	part := []int{0, 0}
+	d := channelDelayMatrix(links, part, 2, RetryConfig{})
+	for i := range d {
+		for j := range d[i] {
+			if d[i][j] != sim.Forever {
+				t.Errorf("dist[%d][%d] = %v, want Forever", i, j, d[i][j])
+			}
+		}
+	}
+}
+
+func TestChannelDelayMatrixPathClosure(t *testing.T) {
+	// A three-shard line 0–1–2: the ends have no direct link, but an
+	// influence chain 0→1→2 can span one barrier round, so the closure
+	// must charge the path sum, not leave Forever.
+	links := []topology.Link{{A: 0, B: 1}, {A: 1, B: 2}}
+	part := []int{0, 1, 2}
+	d := channelDelayMatrix(links, part, 3, RetryConfig{})
+	if d[0][2] != 2*prop || d[2][0] != 2*prop {
+		t.Errorf("end-to-end = %v/%v, want %v", d[0][2], d[2][0], 2*prop)
+	}
+	if d[0][1] != prop || d[1][2] != prop {
+		t.Errorf("direct hops perturbed: %v %v", d[0][1], d[1][2])
+	}
+	// The middle shard's echo can bounce off either neighbour.
+	if d[1][1] != 2*prop {
+		t.Errorf("middle diagonal = %v, want %v", d[1][1], 2*prop)
+	}
+	// The end shards' shortest cycle is also one round-trip.
+	if d[0][0] != 2*prop || d[2][2] != 2*prop {
+		t.Errorf("end diagonals = %v/%v, want %v", d[0][0], d[2][2], 2*prop)
+	}
+}
+
+func TestChannelDelayMatrixDisconnected(t *testing.T) {
+	// Shard 2 shares no cut link: every channel touching it stays
+	// Forever and the connected pair keeps its bound.
+	links := []topology.Link{{A: 0, B: 1}}
+	part := []int{0, 1, 2}
+	d := channelDelayMatrix(links, part, 3, RetryConfig{})
+	for _, pair := range [][2]int{{0, 2}, {2, 0}, {1, 2}, {2, 1}, {2, 2}} {
+		if d[pair[0]][pair[1]] != sim.Forever {
+			t.Errorf("dist[%d][%d] = %v, want Forever", pair[0], pair[1], d[pair[0]][pair[1]])
+		}
+	}
+	if d[0][1] != prop {
+		t.Errorf("connected pair = %v, want %v", d[0][1], prop)
+	}
+}
+
+func TestChannelDelayMatrixRetryFloor(t *testing.T) {
+	// An enabled retry policy connects EVERY ordered pair: a drop
+	// anywhere can requeue at a source anywhere after the backoff
+	// floor. The floor also shortens existing channels when smaller.
+	links := []topology.Link{{A: 0, B: 1}}
+	part := []int{0, 1, 2}
+	retry := RetryConfig{MaxRetries: 3, BackoffBase: 40}
+	d := channelDelayMatrix(links, part, 3, retry)
+	if d[0][1] != 40 || d[1][0] != 40 {
+		t.Errorf("cut pair = %v/%v, want retry floor 40", d[0][1], d[1][0])
+	}
+	if d[0][2] != 40 || d[2][1] != 40 {
+		t.Errorf("retry-only pair = %v/%v, want 40", d[0][2], d[2][1])
+	}
+	// Diagonal: shortest cycle through retry edges is two hops.
+	if d[2][2] != 80 {
+		t.Errorf("diagonal = %v, want 80", d[2][2])
+	}
+
+	// BackoffMax below BackoffBase caps the first re-injection too.
+	retry = RetryConfig{MaxRetries: 3, BackoffBase: 1_000, BackoffMax: 60}
+	d = channelDelayMatrix(links, part, 3, retry)
+	if d[0][2] != 60 {
+		t.Errorf("capped floor = %v, want 60", d[0][2])
+	}
+
+	// A zero base clamps to 1 tick, never 0 — a zero channel would
+	// collapse every window.
+	retry = RetryConfig{MaxRetries: 1}
+	d = channelDelayMatrix(links, part, 3, retry)
+	if d[0][2] != 1 {
+		t.Errorf("zero-base floor = %v, want 1", d[0][2])
+	}
+	if rf := retryFloor(retry); rf != 1 {
+		t.Errorf("retryFloor = %v, want 1", rf)
+	}
+}
+
+// TestChannelDelayMatrixFaultSoundness pins the static-matrix design
+// decision: the coordinator builds bounds from the FULL topology and
+// never tightens them when links fail. That is sound exactly when
+// removing links can only raise (never lower) every entry — the full
+// matrix then lower-bounds the reduced one, hence every delay the
+// degraded fabric can still produce.
+func TestChannelDelayMatrixFaultSoundness(t *testing.T) {
+	topo := topology.MustGenerateIrregular(topology.IrregularSpec{
+		NumSwitches: 12, HostsPerSwitch: 4, InterSwitch: 4, Seed: 5,
+	})
+	part := partitionSwitches(topo, topo.NumSwitches, 4, PartitionBFS)
+	retry := DefaultRetry()
+	full := channelDelayMatrix(topo.Links, part, 4, retry)
+	// Knock out growing prefixes of the link list, including enough to
+	// disconnect shards; the reduced matrix must dominate entrywise.
+	for cut := 1; cut <= len(topo.Links); cut += 3 {
+		reduced := channelDelayMatrix(topo.Links[cut:], part, 4, retry)
+		for i := range full {
+			for j := range full[i] {
+				if full[i][j] > reduced[i][j] {
+					t.Fatalf("cut=%d: full[%d][%d]=%v exceeds reduced %v — static matrix would be unsound under faults",
+						cut, i, j, full[i][j], reduced[i][j])
+				}
+			}
+		}
+	}
+	// And without retry the same monotonicity must hold (no universal
+	// floor masking a violation).
+	full = channelDelayMatrix(topo.Links, part, 4, RetryConfig{})
+	for cut := 1; cut <= len(topo.Links); cut += 3 {
+		reduced := channelDelayMatrix(topo.Links[cut:], part, 4, RetryConfig{})
+		for i := range full {
+			for j := range full[i] {
+				if full[i][j] > reduced[i][j] {
+					t.Fatalf("cut=%d (no retry): full[%d][%d]=%v exceeds reduced %v",
+						cut, i, j, full[i][j], reduced[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestSatAdd(t *testing.T) {
+	cases := []struct{ a, b, want sim.Time }{
+		{0, 0, 0},
+		{100, 228, 328},
+		{sim.Forever, 1, sim.Forever},
+		{1, sim.Forever, sim.Forever},
+		{sim.Forever, sim.Forever, sim.Forever},
+	}
+	for _, c := range cases {
+		if got := satAdd(c.a, c.b); got != c.want {
+			t.Errorf("satAdd(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

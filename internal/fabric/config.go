@@ -93,6 +93,17 @@ type Config struct {
 	// PartitionBFS (default, "" means BFS) or PartitionRoundRobin.
 	Partition string
 
+	// Lag opts a sharded run into relaxed exactness: every shard's
+	// conservative window bound is widened by this many simulated
+	// nanoseconds, and cross-shard events arriving behind a shard's
+	// local clock are clamped to it. 0 (the default) keeps sharded
+	// execution bit-identical to the sequential engine. Positive lag
+	// trades bounded, statistically validated metric error for fewer
+	// barriers on tightly coupled partitions; runs stay deterministic
+	// for a fixed (config, lag, shard count) and data-race-free, and
+	// the invariant auditor still applies. Requires Shards > 1.
+	Lag sim.Time
+
 	// Fuse arms the hop-fusion fast path (on in DefaultConfig): a kick
 	// event dispatched while its engine is quiescent at that timestamp
 	// runs the allocation/injection pass inline instead of scheduling

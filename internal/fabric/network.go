@@ -25,14 +25,21 @@ type Network struct {
 	rng *sim.RNG
 
 	// ctl is the control (and, when Cfg.Shards <= 1, the only)
-	// execution context; its engine is the exported Engine. shards,
-	// partition, lookahead and mailScratch exist only in sharded mode
-	// (see shard.go).
-	ctl         *execCtx
-	shards      []*execCtx
-	partition   []int
-	lookahead   sim.Time
-	mailScratch []mail
+	// execution context; its engine is the exported Engine. The rest
+	// exists only in sharded mode (see shard.go): the partition map,
+	// the global-min lookahead summary, the per-channel delay-bound
+	// matrix chanDist[src][dst], the padded barrier time board, the
+	// relaxed-exactness lag, the recycled outbox backing arrays and
+	// the mail-observer test seam.
+	ctl       *execCtx
+	shards    []*execCtx
+	partition []int
+	lookahead sim.Time
+	chanDist  [][]sim.Time
+	board     *sim.TimeBoard
+	lag       sim.Time
+	boxFree   [][]mail
+	onMail    func(src, dst int, at, schedAt sim.Time)
 
 	// OnCreated fires when a packet enters a source queue; OnDelivered
 	// when it reaches its destination CA; OnHop when a switch starts

@@ -2,33 +2,58 @@ package fabric
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"slices"
 
 	"ibasim/internal/ib"
 	"ibasim/internal/sim"
+	"ibasim/internal/topology"
 )
 
 // Conservative-parallel sharded execution.
 //
 // The fabric's switches and hosts are partitioned into P shards, each
 // owning its own sim.Engine, event/entry freelists and counters. A
-// coordinator advances all shards in lockstep time windows of width
-// lookahead = the minimum delay any cross-shard event can carry
-// (packet arrivals and credit returns cross a link, so at least the
-// propagation delay; host-side retry re-injections can cross with the
-// backoff base). Within a window every event a shard dispatches that
-// targets another shard is deferred into a per-(src,dst) mailbox and
-// merged into the target's queue at the window barrier, sorted by the
-// canonical (at, schedAt, srcShard, pushOrder) key — so each shard's
-// queue receives exactly the same totally ordered event stream a
-// sequential run would have produced, and the simulation is bit-exact
-// regardless of P or worker interleaving. The control engine
+// coordinator advances the shards through channel-aware conservative
+// windows: for every ordered shard pair (j, i) the partition induces a
+// minimum delay chanDist[j][i] that any event produced by j and
+// targeting i must carry (the propagation delay of a cut link, capped
+// by the retry backoff floor when a retry policy lets dropped packets
+// requeue across arbitrary pairs; Forever when no channel connects the
+// pair). Shard i may then safely run to
+//
+//	safe(i) = min over all j of (next(j) + chanDist[j][i])
+//
+// where next(j) is the earliest pending timestamp anywhere in shard j
+// (engine queue or staged mail) — the classic Chandy–Misra–Bryant
+// channel bound. Lightly-coupled shards therefore stop lockstepping on
+// the global min-propagation constant: a shard with no incoming
+// channel from the current straggler keeps running.
+//
+// Cross-shard events are deferred into per-(src,dst) outboxes whose
+// backing arrays are swapped — not copied — into the destination's
+// staging inbox at the barrier; each destination merges and imports its
+// staged mail itself at the start of its next window, in the canonical
+// (at, schedAt, srcShard, pushOrder) order, so each shard's queue
+// receives exactly the same totally ordered event stream a sequential
+// run would have produced and the simulation is bit-exact regardless
+// of P or worker interleaving. (The one wrinkle — a staged mail whose
+// producing timestamp the destination has not yet executed past — is
+// handled by the held-mail rule in flushInbox.) The control engine
 // (Network.Engine) keeps the fault injector, watchdog and staged
 // subnet-manager events; whenever it has an event due, every engine is
 // aligned on that timestamp and the whole timestamp executes
 // single-threaded in merged (at, schedAt) order, which lets control
 // code touch any shard's state safely.
+//
+// An opt-in relaxed-exactness mode (Config.Lag > 0) widens every
+// window bound by the configured lag and clamps late imports to the
+// destination's local clock. Runs remain data-race-free and pass the
+// invariant auditor, but event interleavings near window edges may
+// differ from the sequential oracle, so results are validated
+// statistically rather than bit-for-bit (see the relaxed-mode tests in
+// internal/experiments).
 
 // execCtx is the per-shard execution context. A sequential network has
 // exactly one (the control context, id -1) shared by every switch and
@@ -80,10 +105,49 @@ type execCtx struct {
 	onDropped   func(p *ib.Packet, reason DropReason)
 
 	// outbox[d] buffers events this shard produced for shard d during
-	// the current window; the coordinator drains them at the barrier.
-	// nil for the control context, which imports directly (it only
-	// runs while every shard is parked on a barrier).
-	outbox [][]mail
+	// the current window; the coordinator swaps the filled backing
+	// arrays into d's staging inbox at the barrier. nil for the control
+	// context, which imports directly (it only runs while every shard
+	// is parked on a barrier).
+	outbox []mailbox
+
+	// inbox stages mail swapped in from other shards' outboxes until
+	// this shard imports it at the start of its next window
+	// (flushInbox). Written by the coordinator between windows and by
+	// this shard's worker during them, never both at once.
+	inbox staging
+
+	// Execution statistics for the imbalance report (ShardStats).
+	// statWindows/statStalled/statMailsOut are coordinator-written
+	// between barriers; statMailsIn/statHeld are worker-written during
+	// windows — disjoint fields, so no two goroutines ever race on one.
+	statWindows  uint64
+	statStalled  uint64
+	statMailsOut uint64
+	statMailsIn  uint64
+	statHeld     uint64
+}
+
+// mailbox is one (src,dst) window outbox: the mail buffered this
+// window plus the minimum timestamp in it, maintained on append so the
+// barrier can merge channel clocks without scanning.
+type mailbox struct {
+	box   []mail
+	minAt sim.Time
+}
+
+// staging is a shard's inbound mail buffer between the barrier that
+// swaps producer outboxes in and the window start that imports them.
+// pending holds mail already merged into canonical order by a previous
+// flush; slices holds raw producer arrays not yet merged; minAt is the
+// minimum timestamp across both (Forever when empty) and participates
+// in the shard's next-event time; spent collects consumed producer
+// arrays for the coordinator's free pool.
+type staging struct {
+	slices  [][]mail
+	pending []mail
+	minAt   sim.Time
+	spent   [][]mail
 }
 
 // mail is one deferred cross-shard event with its canonical ordering
@@ -135,8 +199,12 @@ func (c *execCtx) dispatch(delay sim.Time, target *execCtx, ev *fabricEvent) {
 		target.eng.PushAt(now+delay, now, ev)
 		return
 	}
-	box := c.outbox[target.id]
-	c.outbox[target.id] = append(box, mail{at: now + delay, schedAt: now, src: c.id, idx: len(box), ev: ev})
+	ob := &c.outbox[target.id]
+	at := now + delay
+	if at < ob.minAt {
+		ob.minAt = at
+	}
+	ob.box = append(ob.box, mail{at: at, schedAt: now, src: c.id, idx: len(ob.box), ev: ev})
 }
 
 // PartitionKind names a switch-partitioning strategy.
@@ -207,39 +275,163 @@ func partitionSwitches(topo interface {
 	return part
 }
 
-// computeLookahead returns the conservative window width: the minimum
-// simulated delay any event can carry across a shard boundary. Packet
-// arrivals, deliveries and credit returns all cross on a wire and
-// carry at least the propagation delay (drop paths return credits
-// after exactly PropagationDelay, which undercuts serialization+
-// propagation). Host-side retry re-injections (dropPacket → requeue at
-// the source) can connect ANY two shards regardless of cut links, with
-// the backoff base as their minimum delay, so an enabled retry policy
-// caps the window too. Returns Forever when nothing can cross (single
-// shard).
+// retryFloor is the minimum simulated delay a retry requeue can carry:
+// the backoff base, capped by the backoff maximum when that is lower,
+// floored at 1 (backoff clamps non-positive bases to 1).
+func retryFloor(r RetryConfig) sim.Time {
+	b := r.BackoffBase
+	if r.BackoffMax > 0 && r.BackoffMax < b {
+		b = r.BackoffMax
+	}
+	if b <= 0 {
+		b = 1
+	}
+	return b
+}
+
+// computeLookahead returns the conservative window width a lockstep
+// coordinator would use: the minimum simulated delay any event can
+// carry across any shard boundary. Packet arrivals, deliveries and
+// credit returns all cross on a wire and carry at least the
+// propagation delay (drop paths return credits after exactly
+// PropagationDelay, which undercuts serialization+propagation).
+// Host-side retry re-injections (dropPacket → requeue at the source)
+// can connect ANY two shards regardless of cut links, with the backoff
+// floor as their minimum delay, so an enabled retry policy caps the
+// window too. Returns Forever when nothing can cross (single shard).
+// The coordinator itself now uses the per-channel matrix
+// (channelDelayMatrix), of which this is the global minimum; the
+// accessor survives as the summary number surfaced by the CLIs.
 func computeLookahead(cfg Config, shards int) sim.Time {
 	if shards <= 1 {
 		return sim.Forever
 	}
 	la := sim.Time(ib.PropagationDelay)
-	if cfg.Retry.MaxRetries > 0 || cfg.Retry.SendTimeout > 0 {
-		b := cfg.Retry.BackoffBase
-		if b <= 0 {
-			b = 1
-		}
-		if b < la {
+	if cfg.Retry.Enabled() {
+		if b := retryFloor(cfg.Retry); b < la {
 			la = b
 		}
 	}
 	return la
 }
 
+// channelDelayMatrix computes, for every ordered shard pair (j, i), a
+// conservative lower bound on the timestamp distance (at - schedAt) of
+// any event shard j can produce for shard i:
+//
+//   - every topology link cut by the partition carries packet receives
+//     and credit returns in both directions with at least the
+//     propagation delay (the drop path returns credits after exactly
+//     PropagationDelay, undercutting serialization+propagation);
+//   - an enabled retry policy lets a switch-side drop requeue the
+//     packet at its source host, connecting ANY ordered pair with the
+//     backoff floor as its minimum delay;
+//   - pairs with no channel stay Forever and never constrain windows.
+//
+// The direct-channel graph is then closed under shortest paths
+// (Floyd–Warshall, saturating at Forever): an influence chain
+// j → k → i can span a single barrier round — j mails k during the
+// same window in which i runs ahead, and k relays next window — so i's
+// bound must charge j's earliest pending work the whole path delay,
+// not just a direct channel. Only pairs in different connected
+// components of the channel graph stay Forever. The diagonal is
+// initialized to Forever, NOT zero, so the closure leaves the shortest
+// cycle through each shard there: shard i's own pending event can echo
+// off a neighbour and return (i mails j, j reacts, j mails i), so i's
+// window is bounded by next(i) + that round-trip too — the j == i term
+// of the window formula.
+//
+// The matrix is built once from the full topology and deliberately NOT
+// tightened when links go down: faults only remove traffic from a
+// channel, never add a faster one, and staged reconfiguration rewrites
+// forwarding tables, not physical links — so the static matrix stays a
+// sound lower bound for the whole run (fault campaigns included).
+func channelDelayMatrix(links []topology.Link, part []int, shards int, retry RetryConfig) [][]sim.Time {
+	backing := make([]sim.Time, shards*shards)
+	dist := make([][]sim.Time, shards)
+	for i := range dist {
+		dist[i] = backing[i*shards : (i+1)*shards]
+		for j := range dist[i] {
+			dist[i][j] = sim.Forever
+		}
+	}
+	prop := sim.Time(ib.PropagationDelay)
+	for _, l := range links {
+		a, b := part[l.A], part[l.B]
+		if a == b {
+			continue
+		}
+		if prop < dist[a][b] {
+			dist[a][b] = prop
+		}
+		if prop < dist[b][a] {
+			dist[b][a] = prop
+		}
+	}
+	if retry.Enabled() {
+		rf := retryFloor(retry)
+		for i := range dist {
+			for j := range dist[i] {
+				if i != j && rf < dist[i][j] {
+					dist[i][j] = rf
+				}
+			}
+		}
+	}
+	for k := 0; k < shards; k++ {
+		for i := 0; i < shards; i++ {
+			dik := dist[i][k]
+			if dik == sim.Forever {
+				continue
+			}
+			for j := 0; j < shards; j++ {
+				if via := satAdd(dik, dist[k][j]); via < dist[i][j] {
+					dist[i][j] = via
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// satAdd adds two non-negative times, saturating at Forever.
+func satAdd(a, b sim.Time) sim.Time {
+	if s := a + b; s >= a {
+		return s
+	}
+	return sim.Forever
+}
+
 // ShardCount returns the number of shards (0 when sequential).
 func (n *Network) ShardCount() int { return len(n.shards) }
 
-// Lookahead returns the conservative window width of a sharded
-// network, or Forever when sequential or single-shard.
+// Lookahead returns the global minimum cross-shard delay of a sharded
+// network (the width a lockstep window would have), or Forever when
+// sequential or single-shard. The coordinator's actual windows are
+// per-shard and usually wider — see ChannelBounds.
 func (n *Network) Lookahead() sim.Time { return n.lookahead }
+
+// ChannelBounds returns a copy of the per-channel minimum-delay matrix
+// bounds[src][dst] used by the coordinator, or nil when sequential.
+// Forever marks pairs with no channel.
+func (n *Network) ChannelBounds() [][]sim.Time {
+	if n.chanDist == nil {
+		return nil
+	}
+	out := make([][]sim.Time, len(n.chanDist))
+	for i, row := range n.chanDist {
+		out[i] = append([]sim.Time(nil), row...)
+	}
+	return out
+}
+
+// SetMailObserver installs a diagnostic callback invoked once per
+// cross-shard mail as the coordinator swaps it toward its destination
+// (coordinator goroutine, barriers only). Test seam for the
+// channel-bound soundness suite; nil disables.
+func (n *Network) SetMailObserver(fn func(src, dst int, at, schedAt sim.Time)) {
+	n.onMail = fn
+}
 
 // ShardOfSwitch returns the shard owning switch s (0 when sequential).
 func (n *Network) ShardOfSwitch(s int) int {
@@ -255,6 +447,51 @@ func (n *Network) ShardOfHost(h int) int {
 		return 0
 	}
 	return n.Hosts[h].ctx.id
+}
+
+// ShardStat is one shard's share of a sharded run's execution: how
+// much work it dispatched, how often the coordinator woke it, and how
+// much mail it exchanged. An execution artifact — partition quality
+// made observable — not a simulation observable: bit-exactness
+// differentials must ignore it (the same result reached via different
+// shard counts reports different stats).
+type ShardStat struct {
+	Shard    int    // shard index
+	Switches int    // switches owned
+	Hosts    int    // hosts owned
+	Events   uint64 // events dispatched by this shard's engine
+	Windows  uint64 // windows the coordinator activated it for
+	Stalled  uint64 // barriers it sat out with work pending (window bound reached)
+	MailsOut uint64 // cross-shard events it produced
+	MailsIn  uint64 // cross-shard events it imported
+	Held     uint64 // windows cut short by the held-mail exactness rule
+}
+
+// ShardStats reports the per-shard imbalance counters of the last (or
+// current) run, or nil when sequential.
+func (n *Network) ShardStats() []ShardStat {
+	if len(n.shards) == 0 {
+		return nil
+	}
+	out := make([]ShardStat, len(n.shards))
+	for i, s := range n.shards {
+		out[i] = ShardStat{
+			Shard:    i,
+			Events:   s.eng.Processed(),
+			Windows:  s.statWindows,
+			Stalled:  s.statStalled,
+			MailsOut: s.statMailsOut,
+			MailsIn:  s.statMailsIn,
+			Held:     s.statHeld,
+		}
+	}
+	for _, p := range n.partition {
+		out[p].Switches++
+	}
+	for h := range n.Hosts {
+		out[n.partition[n.Topo.HostSwitch(h)]].Hosts++
+	}
+	return out
 }
 
 // ShardHooks carries per-shard observer callbacks (see ChainShardHooks).
@@ -324,16 +561,20 @@ func (n *Network) FaultTotals() FaultStats {
 }
 
 // PendingEvents counts events scheduled anywhere: the control engine,
-// every shard engine, and undrained window mailboxes. The deadlock
-// watchdog uses it — a shard-local Pending() of zero says nothing when
-// a neighbouring shard still holds the credit return that will wake
-// this one.
+// every shard engine, undrained window outboxes and staged inbox mail.
+// The deadlock watchdog uses it — a shard-local Pending() of zero says
+// nothing when a neighbouring shard still holds the credit return that
+// will wake this one.
 func (n *Network) PendingEvents() int {
 	p := n.Engine.Pending()
 	for _, s := range n.shards {
 		p += s.eng.Pending()
-		for _, box := range s.outbox {
-			p += len(box)
+		for i := range s.outbox {
+			p += len(s.outbox[i].box)
+		}
+		p += len(s.inbox.pending)
+		for _, sl := range s.inbox.slices {
+			p += len(sl)
 		}
 	}
 	return p
@@ -372,7 +613,7 @@ func (n *Network) Recycle() {
 // Run advances the simulation to the horizon: sequentially on the one
 // engine, or through the conservative-parallel coordinator when the
 // network was built with Cfg.Shards > 1. Both produce bit-identical
-// results.
+// results (unless Cfg.Lag opts into relaxed exactness).
 func (n *Network) Run(horizon sim.Time) {
 	if len(n.shards) == 0 {
 		n.Engine.Run(horizon)
@@ -381,13 +622,133 @@ func (n *Network) Run(horizon sim.Time) {
 	n.runSharded(horizon)
 }
 
+// shardNext is the earliest pending timestamp anywhere in this shard:
+// its engine queue or its staged (not yet imported) mail.
+func (c *execCtx) shardNext() sim.Time {
+	nt := c.eng.NextEventTime()
+	if m := c.inbox.minAt; m < nt {
+		nt = m
+	}
+	return nt
+}
+
+// flushInbox merges and imports this shard's staged mail due before
+// end, in canonical (at, schedAt, src, idx) order, and returns the
+// (possibly lowered) window end the shard may safely run to.
+//
+// Exactness hold: a staged mail whose schedAt this shard has not yet
+// executed past could still be preceded — in the sequential oracle's
+// tie order — by a local event with the identical (at, schedAt) key
+// that an event pending at or before schedAt has yet to schedule
+// (locals always win those ties: they are scheduled while the shard
+// executes schedAt, before the barrier that would import the mail). So
+// such a mail is held and the window is cut short at its timestamp; by
+// the next window the shard has executed past schedAt and the mail
+// imports behind every such local. effNext tracks the earliest
+// timestamp this shard could still execute, including mails imported
+// earlier in this very flush.
+//
+// In relaxed mode (Config.Lag > 0) the hold is skipped and late mail
+// is clamped to the local clock — bounded metric error is accepted in
+// exchange for wider windows.
+func (c *execCtx) flushInbox(end sim.Time) sim.Time {
+	st := &c.inbox
+	if len(st.slices) > 0 {
+		for _, sl := range st.slices {
+			st.pending = append(st.pending, sl...)
+			clear(sl)
+			st.spent = append(st.spent, sl[:0])
+		}
+		st.slices = st.slices[:0]
+		slices.SortFunc(st.pending, mailLess)
+	}
+	if len(st.pending) == 0 {
+		st.minAt = sim.Forever
+		return end
+	}
+	if st.pending[0].at >= end {
+		st.minAt = st.pending[0].at
+		return end
+	}
+	eng := c.eng
+	relaxed := c.net.lag > 0
+	effNext := eng.NextEventTime()
+	i := 0
+	for ; i < len(st.pending); i++ {
+		m := st.pending[i]
+		if m.at >= end {
+			break
+		}
+		if relaxed {
+			at, schedAt := m.at, m.schedAt
+			if now := eng.Now(); at < now {
+				at = now
+				if schedAt > at {
+					schedAt = at
+				}
+			}
+			eng.PushAt(at, schedAt, m.ev)
+			continue
+		}
+		if m.schedAt >= effNext {
+			end = m.at
+			c.statHeld++
+			break
+		}
+		eng.PushAt(m.at, m.schedAt, m.ev)
+		if m.at < effNext {
+			effNext = m.at
+		}
+	}
+	c.statMailsIn += uint64(i)
+	if i > 0 {
+		rem := copy(st.pending, st.pending[i:])
+		clear(st.pending[rem:])
+		st.pending = st.pending[:rem]
+	}
+	if len(st.pending) > 0 {
+		st.minAt = st.pending[0].at
+	} else {
+		st.minAt = sim.Forever
+	}
+	return end
+}
+
+// maskScanAll is the outbox-mask sentinel for "more than 64 shards:
+// scan my outboxes". Unreachable as a real mask (a shard never mails
+// itself, so its own bit is always clear when the count fits).
+const maskScanAll = ^uint64(0)
+
+// publishBoard records this shard's engine next-event time and outbox
+// destinations on the coordinator's time board. Called by the worker
+// at window end so the coordinator reads one padded cell per shard
+// instead of touching every engine's queue header.
+func (c *execCtx) publishBoard() {
+	b := c.net.board
+	if b == nil {
+		return
+	}
+	var mask uint64
+	if len(c.outbox) > 64 {
+		mask = maskScanAll
+	} else {
+		for d := range c.outbox {
+			if len(c.outbox[d].box) > 0 {
+				mask |= 1 << uint(d)
+			}
+		}
+	}
+	b.Publish(c.id, c.eng.NextEventTime(), mask)
+}
+
 // shardWorkers are the persistent window-execution goroutines of one
 // sharded run. All synchronization is channel-based: the send of a
-// window end publishes every coordinator-side write (mailbox imports,
+// window end publishes every coordinator-side write (inbox swaps,
 // control-phase mutations) to the worker, and the completion send
 // publishes the worker's writes back — which is exactly the
 // happens-before structure the race detector verifies in the
-// differential tests.
+// differential tests. The time-board atomics ride on top purely to
+// keep the coordinator's barrier reads off the workers' cache lines.
 type shardWorkers struct {
 	start []chan sim.Time
 	done  chan int
@@ -402,7 +763,9 @@ func startWorkers(shards []*execCtx) *shardWorkers {
 		w.start[i] = make(chan sim.Time)
 		go func(c *execCtx, start <-chan sim.Time) {
 			for end := range start {
+				end = c.flushInbox(end)
 				c.eng.RunBefore(end)
+				c.publishBoard()
 				w.done <- c.id
 			}
 		}(shards[i], w.start[i])
@@ -416,69 +779,133 @@ func (w *shardWorkers) stop() {
 	}
 }
 
-// runSharded is the coordinator loop. Invariants:
-//   - between iterations every mailbox is empty and every pending
-//     event sits in some engine's queue;
+// runSharded is the channel-aware coordinator loop. Invariants:
+//   - between iterations every outbox is empty; every pending event
+//     sits in some engine's queue or a staging inbox, and each shard's
+//     next[] reflects both;
 //   - t, the earliest pending timestamp anywhere, only ever grows;
-//   - events cross shard boundaries with delay >= lookahead, so a
-//     window [t, t+lookahead) can run shard-local without ever
-//     receiving an event it should already have dispatched.
+//   - shard i's window never reaches next(j) + chanDist[j][i] for any
+//     j, so it cannot run past the earliest instant an event from j
+//     could arrive — and since all bounds are computed at a barrier
+//     with outboxes drained, transitive influence is covered by the
+//     intermediate shard's own term (see channelDelayMatrix).
+//
+// Progress: the shard holding the global minimum t always gets a
+// window strictly past t (every incoming bound is at least t + the
+// channel's positive delay, and the held-mail rule only cuts a window
+// to a timestamp strictly after the engine's next event), so every
+// iteration dispatches at least one event or terminates.
 func (n *Network) runSharded(horizon sim.Time) {
 	var w *shardWorkers
 	if len(n.shards) > 1 && runtime.GOMAXPROCS(0) > 1 {
 		w = startWorkers(n.shards)
 		defer w.stop()
 	}
-	active := make([]int, 0, len(n.shards))
+	P := len(n.shards)
+	engNext := make([]sim.Time, P)
+	next := make([]sim.Time, P)
+	ends := make([]sim.Time, P)
+	active := make([]int, 0, P)
+	fresh := false // board cells are current for the shards in active
 	for {
-		t := n.Engine.NextEventTime()
-		for _, s := range n.shards {
-			if nt := s.eng.NextEventTime(); nt < t {
+		ctl := n.Engine.NextEventTime()
+		if fresh {
+			// Only the shards that just ran moved their engines; their
+			// workers republished the padded board cells. Everyone
+			// else's cached engNext is still exact.
+			for _, i := range active {
+				engNext[i] = n.board.Next(i)
+			}
+		} else {
+			for i, s := range n.shards {
+				engNext[i] = s.eng.NextEventTime()
+			}
+		}
+		t := ctl
+		for i, s := range n.shards {
+			nt := engNext[i]
+			if m := s.inbox.minAt; m < nt {
+				nt = m
+			}
+			next[i] = nt
+			if nt < t {
 				t = nt
 			}
 		}
 		if t > horizon || t == sim.Forever {
 			break
 		}
-		if n.Engine.NextEventTime() == t {
-			// Control work due: align everyone on t and execute the
-			// whole timestamp single-threaded in merged order, so
-			// control events (fault flips, staged reprogramming,
-			// watchdog audits) interleave with shard events exactly as
-			// the one-queue sequential run interleaves them.
+		if ctl == t {
+			// Control work due: flush every shard's staged mail with
+			// timestamps at t (all of it is importable — its producers
+			// executed strictly earlier), align everyone on t and
+			// execute the whole timestamp single-threaded in merged
+			// order, so control events (fault flips, staged
+			// reprogramming, watchdog audits) interleave with shard
+			// events exactly as the one-queue sequential run
+			// interleaves them.
+			for _, s := range n.shards {
+				s.flushInbox(t + 1)
+			}
 			n.runMergedAt(t)
-			n.drainOutboxes()
+			n.drainOutboxes(nil)
+			fresh = false
 			continue
 		}
-		endEx := sim.Forever
-		if n.lookahead < sim.Forever && t <= sim.Forever-n.lookahead {
-			endEx = t + n.lookahead
-		}
-		if ctl := n.Engine.NextEventTime(); ctl < endEx {
-			endEx = ctl
-		}
-		if horizon < sim.Forever && horizon+1 < endEx {
-			endEx = horizon + 1
+		// Channel-aware per-shard windows: shard i runs to the minimum
+		// over incoming channels of (neighbour's earliest pending work
+		// + channel delay bound), capped by the control engine and the
+		// horizon. Shards with no due work before their bound simply
+		// sit the barrier out — the fast-forward over empty windows is
+		// implicit in t jumping to the global minimum.
+		for i := 0; i < P; i++ {
+			e := sim.Forever
+			for j := 0; j < P; j++ {
+				d := n.chanDist[j][i]
+				if d == sim.Forever || next[j] == sim.Forever {
+					continue
+				}
+				if b := satAdd(next[j], d); b < e {
+					e = b
+				}
+			}
+			if n.lag > 0 {
+				e = satAdd(e, n.lag)
+			}
+			if ctl < e {
+				e = ctl
+			}
+			if horizon < sim.Forever && horizon+1 < e {
+				e = horizon + 1
+			}
+			ends[i] = e
 		}
 		active = active[:0]
 		for i, s := range n.shards {
-			if s.eng.NextEventTime() < endEx {
+			if next[i] < ends[i] {
+				s.statWindows++
 				active = append(active, i)
+			} else if next[i] < sim.Forever {
+				s.statStalled++
 			}
 		}
 		if w == nil || len(active) < 2 {
 			for _, i := range active {
-				n.shards[i].eng.RunBefore(endEx)
+				s := n.shards[i]
+				end := s.flushInbox(ends[i])
+				s.eng.RunBefore(end)
 			}
+			fresh = false
 		} else {
 			for _, i := range active {
-				w.start[i] <- endEx
+				w.start[i] <- ends[i]
 			}
 			for range active {
 				<-w.done
 			}
+			fresh = true
 		}
-		n.drainOutboxes()
+		n.drainOutboxes(activeMasks(fresh, active))
 	}
 	// Mirror the sequential clock contract: every engine finishes at
 	// the time of the last dispatched event anywhere (utilization
@@ -499,13 +926,22 @@ func (n *Network) runSharded(horizon sim.Time) {
 	}
 }
 
+// activeMasks returns the shard set whose published board masks are
+// current (worker path just ran), or nil to make drainOutboxes scan.
+func activeMasks(fresh bool, active []int) []int {
+	if fresh {
+		return active
+	}
+	return nil
+}
+
 // runMergedAt aligns every engine on timestamp t and dispatches all
 // events at exactly t, across the control and shard engines, in global
 // (at, schedAt, engine) order — the control engine ordering first
 // among exact key ties, matching the sequential engine's behaviour of
 // dispatching an event stream in one queue. Events the timestamp
 // spawns at t itself (delay-0 kicks) join the merge; later events stay
-// queued; cross-shard events go to the mailboxes as usual and are
+// queued; cross-shard events go to the outboxes as usual and are
 // drained by the caller.
 func (n *Network) runMergedAt(t sim.Time) {
 	// Hop fusion keys off "no other event at Now in MY queue"; during a
@@ -542,29 +978,74 @@ func (n *Network) runMergedAt(t sim.Time) {
 	}
 }
 
-// drainOutboxes merges every window mailbox into its target shard's
-// queue in canonical (at, schedAt, srcShard, pushOrder) order. Runs on
-// the coordinator with all workers parked.
-func (n *Network) drainOutboxes() {
-	for d, dst := range n.shards {
-		scratch := n.mailScratch[:0]
-		for _, s := range n.shards {
-			if box := s.outbox[d]; len(box) > 0 {
-				scratch = append(scratch, box...)
-				clear(box)
-				s.outbox[d] = box[:0]
+// drainOutboxes swaps every filled window outbox into its destination
+// shard's staging inbox (backing arrays move, mail is not copied) and
+// recycles producer arrays the destinations consumed. Runs on the
+// coordinator with all workers parked. masked, when non-nil, names the
+// shards whose published board masks identify their filled outboxes,
+// saving the O(P²) empty-box scan; nil scans everything.
+func (n *Network) drainOutboxes(masked []int) {
+	for _, s := range n.shards {
+		if len(s.inbox.spent) > 0 {
+			n.boxFree = append(n.boxFree, s.inbox.spent...)
+			s.inbox.spent = s.inbox.spent[:0]
+		}
+	}
+	if masked != nil {
+		for _, si := range masked {
+			src := n.shards[si]
+			mask := n.board.Mask(si)
+			if mask == maskScanAll {
+				n.drainFrom(src)
+				continue
+			}
+			for mask != 0 {
+				d := bits.TrailingZeros64(mask)
+				mask &^= 1 << uint(d)
+				n.moveBox(src, d)
 			}
 		}
-		if len(scratch) == 0 {
-			continue
-		}
-		slices.SortFunc(scratch, mailLess)
-		for i := range scratch {
-			dst.eng.PushAt(scratch[i].at, scratch[i].schedAt, scratch[i].ev)
-		}
-		clear(scratch)
-		n.mailScratch = scratch[:0]
+		return
 	}
+	for _, s := range n.shards {
+		n.drainFrom(s)
+	}
+}
+
+func (n *Network) drainFrom(src *execCtx) {
+	for d := range src.outbox {
+		if len(src.outbox[d].box) > 0 {
+			n.moveBox(src, d)
+		}
+	}
+}
+
+// moveBox hands src's filled outbox for shard d to d's staging inbox
+// and replaces it from the free pool (or with nil: append allocates on
+// first use and the array recirculates forever after).
+func (n *Network) moveBox(src *execCtx, d int) {
+	ob := &src.outbox[d]
+	if len(ob.box) == 0 {
+		return
+	}
+	if n.onMail != nil {
+		for i := range ob.box {
+			n.onMail(src.id, d, ob.box[i].at, ob.box[i].schedAt)
+		}
+	}
+	src.statMailsOut += uint64(len(ob.box))
+	dst := n.shards[d]
+	dst.inbox.slices = append(dst.inbox.slices, ob.box)
+	if ob.minAt < dst.inbox.minAt {
+		dst.inbox.minAt = ob.minAt
+	}
+	if k := len(n.boxFree); k > 0 {
+		ob.box = n.boxFree[k-1]
+		n.boxFree = n.boxFree[:k-1]
+	} else {
+		ob.box = nil
+	}
+	ob.minAt = sim.Forever
 }
 
 // buildShards partitions the network and creates the per-shard
@@ -586,14 +1067,21 @@ func (n *Network) buildShards(engineOpts []sim.EngineOption) error {
 	part := partitionSwitches(n.Topo, n.Topo.NumSwitches, shards, kind)
 	n.partition = part
 	n.lookahead = computeLookahead(n.Cfg, shards)
+	n.chanDist = channelDelayMatrix(n.Topo.Links, part, shards, n.Cfg.Retry)
+	n.board = sim.NewTimeBoard(shards)
+	n.lag = n.Cfg.Lag
 	n.shards = make([]*execCtx, shards)
 	for i := range n.shards {
 		n.shards[i] = &execCtx{
 			net:    n,
 			id:     i,
 			eng:    sim.NewEngine(engineOpts...),
-			outbox: make([][]mail, shards),
+			outbox: make([]mailbox, shards),
 		}
+		for d := range n.shards[i].outbox {
+			n.shards[i].outbox[d].minAt = sim.Forever
+		}
+		n.shards[i].inbox.minAt = sim.Forever
 		n.shards[i].faults = &FaultStats{}
 	}
 	for s, sw := range n.Switches {
@@ -613,7 +1101,13 @@ func (n *Network) buildShards(engineOpts []sim.EngineOption) error {
 // forwarding path.
 func validateShardMode(c Config) error {
 	if c.Shards <= 1 {
+		if c.Lag > 0 {
+			return fmt.Errorf("fabric: Lag (relaxed exactness) requires Shards > 1")
+		}
 		return nil
+	}
+	if c.Lag < 0 {
+		return fmt.Errorf("fabric: Lag must be >= 0, got %d", c.Lag)
 	}
 	if !c.Selection.StatusAware {
 		return fmt.Errorf("fabric: Shards > 1 requires status-aware selection (static selection draws the shared RNG per hop)")

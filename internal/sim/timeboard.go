@@ -1,0 +1,54 @@
+package sim
+
+import "sync/atomic"
+
+// TimeBoard is a fixed-size array of cache-line-padded atomic cells,
+// one per shard, through which the conservative-parallel coordinator
+// and its window workers exchange per-barrier state without bouncing
+// each other's cache lines. At the end of a window each worker
+// publishes its engine's next-event time plus a bitmask of the
+// destination shards it mailed; the coordinator reads one cell per
+// shard instead of walking every foreign engine's queue header.
+//
+// The channel barrier already provides the happens-before edges the
+// race detector needs; the atomics exist so the cells stay individually
+// readable from the coordinator while padding keeps two workers'
+// publishes from sharing a line.
+type TimeBoard struct {
+	cells []boardCell
+}
+
+// boardCell is padded out to 64 bytes so adjacent shards' publishes
+// never contend on one cache line.
+type boardCell struct {
+	next atomic.Int64
+	mask atomic.Uint64
+	_    [48]byte
+}
+
+// NewTimeBoard returns a board with n cells, each initialized to
+// (Forever, 0) — "no pending work, nothing mailed".
+func NewTimeBoard(n int) *TimeBoard {
+	b := &TimeBoard{cells: make([]boardCell, n)}
+	for i := range b.cells {
+		b.cells[i].next.Store(int64(Forever))
+	}
+	return b
+}
+
+// Publish records shard i's next-event time and outbox-destination
+// mask.
+func (b *TimeBoard) Publish(i int, next Time, mask uint64) {
+	c := &b.cells[i]
+	c.next.Store(int64(next))
+	c.mask.Store(mask)
+}
+
+// Next returns the last next-event time published for shard i.
+func (b *TimeBoard) Next(i int) Time { return Time(b.cells[i].next.Load()) }
+
+// Mask returns the last outbox-destination mask published for shard i.
+func (b *TimeBoard) Mask(i int) uint64 { return b.cells[i].mask.Load() }
+
+// Len returns the number of cells.
+func (b *TimeBoard) Len() int { return len(b.cells) }

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+// TestTimeBoardCellPadding pins the layout property the board exists
+// for: one cell per cache line, so concurrent publishes never share.
+func TestTimeBoardCellPadding(t *testing.T) {
+	if s := unsafe.Sizeof(boardCell{}); s < 64 || s%64 != 0 {
+		t.Fatalf("boardCell is %d bytes, want a 64-byte multiple >= 64", s)
+	}
+}
+
+func TestTimeBoardPublishLoad(t *testing.T) {
+	b := NewTimeBoard(3)
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if got := b.Next(i); got != Forever {
+			t.Fatalf("cell %d initial next = %v, want Forever", i, got)
+		}
+		if got := b.Mask(i); got != 0 {
+			t.Fatalf("cell %d initial mask = %v, want 0", i, got)
+		}
+	}
+	b.Publish(1, 42, 0b101)
+	if got := b.Next(1); got != 42 {
+		t.Fatalf("Next(1) = %v, want 42", got)
+	}
+	if got := b.Mask(1); got != 0b101 {
+		t.Fatalf("Mask(1) = %b, want 101", got)
+	}
+	if got := b.Next(0); got != Forever {
+		t.Fatalf("Next(0) perturbed: %v", got)
+	}
+}
+
+// TestTimeBoardConcurrentPublish exercises disjoint-cell publishes from
+// many goroutines; under -race this proves the cells are independently
+// writable.
+func TestTimeBoardConcurrentPublish(t *testing.T) {
+	const n = 8
+	b := NewTimeBoard(n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 1000; k++ {
+				b.Publish(i, Time(i*1000+k), uint64(k))
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if got := b.Next(i); got != Time(i*1000+999) {
+			t.Fatalf("cell %d next = %v, want %d", i, got, i*1000+999)
+		}
+	}
+}

@@ -60,8 +60,18 @@ echo "==> sharded-engine differential (bit-exact vs sequential, worker goroutine
 # GOMAXPROCS=4 forces the shard coordinator onto its worker-goroutine
 # path even on single-core runners (at GOMAXPROCS=1 it runs shards
 # inline); -count=1 defeats the test cache, which ignores env changes.
+# The matrix covers the channel-aware windows, outbox batching and the
+# time board: wheel geometries × shard counts × both partitioners,
+# plus the fault campaign and -check goldens.
 GOMAXPROCS=4 go test -race -count=1 \
   -run 'TestShardEngineBitExact|TestShardModeValidation' -v ./internal/experiments/
-GOMAXPROCS=4 go test -race -count=1 -run 'TestShard|TestPartition|TestLookahead' ./internal/fabric/
+GOMAXPROCS=4 go test -race -count=1 -run 'TestShard|TestPartition|TestLookahead|TestChannelDelayMatrix' ./internal/fabric/
+GOMAXPROCS=4 go test -race -count=1 -run 'TestTimeBoard' ./internal/sim/
+
+echo "==> channel-bound soundness (live cross-shard mail vs the delay matrix)"
+GOMAXPROCS=4 go test -race -count=1 -run 'TestChannelBounds' -v ./internal/experiments/
+
+echo "==> relaxed-exactness smoke (-lag: deterministic, auditor-clean, statistically close to the exact oracle)"
+GOMAXPROCS=4 go test -race -count=1 -run 'TestRelaxed' -v ./internal/experiments/
 
 echo "CI OK"
