@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 	"strings"
 
 	"ibasim"
+	"ibasim/internal/campaign"
 	"ibasim/internal/experiments"
 	"ibasim/internal/faults"
 	"ibasim/internal/prof"
@@ -48,25 +50,45 @@ func parsePatterns(s string) ([]experiments.PatternSpec, error) {
 	var out []experiments.PatternSpec
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
-		switch {
-		case part == "":
-		case part == "uniform" || part == "bit-reversal":
-			out = append(out, experiments.PatternSpec{Kind: part})
-		case strings.HasPrefix(part, "hot-spot:"):
-			f, err := strconv.ParseFloat(strings.TrimPrefix(part, "hot-spot:"), 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad hot-spot fraction in %q", part)
-			}
-			out = append(out, experiments.PatternSpec{Kind: "hot-spot", Fraction: f})
-		default:
-			return nil, fmt.Errorf("unknown pattern %q", part)
+		if part == "" {
+			continue
 		}
+		ps, err := experiments.ParsePattern(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ps)
 	}
 	return out, nil
 }
 
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// patString renders a pattern back into the ParsePattern grammar
+// (PatternSpec.String is a display form and does not round-trip).
+func patString(ps experiments.PatternSpec) string {
+	if ps.Kind == "hot-spot" {
+		return fmt.Sprintf("hot-spot:%g", ps.Fraction)
+	}
+	return ps.Kind
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, table1, table2, motivation, faults, all")
+	exp := flag.String("exp", "all", "experiment: fig3, table1, table2, motivation, faults, campaign, all")
 	scaleName := flag.String("scale", "quick", "preset: quick or full")
 	switches := flag.Int("switches", 16, "fig3: network size")
 	links := flag.Int("links", 4, "inter-switch links per switch")
@@ -90,6 +112,9 @@ func main() {
 	fuse := flag.Bool("fuse", true, "hop-fusion fast path; -fuse=false runs the per-hop event engine (results are bit-identical)")
 	faultSpec := flag.String("faults", "rand:4:15000@50000-150000; autoreconfig:10000", "faults: campaign spec string or @file.json")
 	faultSeed := flag.Uint64("fault-seed", 1, "faults: seed for the campaign's randomized elements")
+	emitCampaign := flag.String("emit-campaign", "", "write an ibcamp campaign spec built from the current flags to FILE and exit")
+	campaignFile := flag.String("campaign", "", "-exp campaign: spec file to run in-process (sequential differential oracle for ibcamp)")
+	fractions := flag.String("fractions", "1", "campaign emit: adaptive fractions, e.g. 0,0.5,1")
 	pcfg := prof.Flags()
 	flag.Parse()
 
@@ -179,6 +204,107 @@ func main() {
 		pats = v
 	}
 
+	if *emitCampaign != "" {
+		pstrs := make([]string, len(pats))
+		for i, p := range pats {
+			pstrs[i] = patString(p)
+		}
+		fracs, err := parseFloats(*fractions)
+		if err != nil {
+			fail(err)
+		}
+		spec := campaign.Spec{
+			Schema:            campaign.SpecSchemaVersion,
+			Name:              "ibbench-" + *scaleName,
+			Sizes:             sc.Sizes,
+			HostsPerSwitch:    sc.HostsPerSw,
+			Links:             *links,
+			MR:                *mr,
+			PacketSizes:       sc.PacketSizes,
+			Patterns:          pstrs,
+			AdaptiveFractions: fracs,
+			Seeds:             sc.Topologies,
+			FirstSeed:         sc.FirstSeed,
+			LoadLo:            sc.LoadLo,
+			LoadHi:            sc.LoadHi,
+			LoadPoints:        sc.LoadPoints,
+			WarmupNs:          int64(sc.Warmup),
+			MeasureNs:         int64(sc.Measure),
+			DrainGraceNs:      int64(sc.DrainGrace),
+			LagNs:             *lag,
+			Exec: experiments.ExecSpec{
+				Engine: *engine, Shards: sc.Shards, Partition: sc.Partition,
+				Sched: *sched, Check: *check, Unfused: !*fuse,
+			},
+		}
+		if *exp == "faults" {
+			if strings.HasPrefix(*faultSpec, "@") {
+				fail(fmt.Errorf("campaign jobs need a self-contained fault spec, not the file reference %q", *faultSpec))
+			}
+			spec.Faults = *faultSpec
+			spec.FaultSeed = *faultSeed
+		}
+		data, err := json.MarshalIndent(spec, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		data = append(data, '\n')
+		// Round-trip through the strict parser so an emitted spec is
+		// guaranteed to load.
+		if _, err := campaign.ParseSpec(data); err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*emitCampaign, data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "ibbench: wrote campaign spec %q to %s\n", spec.Name, *emitCampaign)
+		return
+	}
+
+	// runCampaign is the in-process differential oracle for ibcamp: the
+	// same spec expansion and aggregation, executed sequentially with no
+	// store or subprocesses. Its stdout must match `ibcamp run` byte for
+	// byte.
+	runCampaign := func(path string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fail(err)
+		}
+		spec, err := campaign.ParseSpec(data)
+		if err != nil {
+			fail(err)
+		}
+		plan, err := spec.Expand()
+		if err != nil {
+			fail(err)
+		}
+		results := make(map[string][]byte, len(plan.Jobs))
+		for _, job := range plan.Jobs {
+			res, err := job.Spec.Execute()
+			if err != nil {
+				fail(err)
+			}
+			body, err := campaign.EncodeArtifact(job.Hash, res)
+			if err != nil {
+				fail(err)
+			}
+			results[job.Hash] = body
+		}
+		table, err := campaign.Aggregate(plan, func(h string) ([]byte, error) {
+			b, ok := results[h]
+			if !ok {
+				return nil, campaign.ErrNotFound
+			}
+			return b, nil
+		}, false)
+		if err != nil {
+			fail(err)
+		}
+		if err := table.Write(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+
 	runFig3 := func(size int) {
 		res, err := experiments.Figure3(sc, size)
 		if err != nil {
@@ -242,6 +368,11 @@ func main() {
 		runTable2(*links, *mr)
 	case "faults":
 		runFaults(*links, *mr)
+	case "campaign":
+		if *campaignFile == "" {
+			fail(fmt.Errorf("-exp campaign needs -campaign FILE"))
+		}
+		runCampaign(*campaignFile)
 	case "all":
 		fmt.Println("== Figure 3 ==")
 		runFig3(*switches)

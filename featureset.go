@@ -15,6 +15,7 @@ type FeatureSet struct {
 	LagNs       int64  // -lag: relaxed-exactness window slack, shard engine only
 	PacketTrace bool   // -packet-trace: per-packet lifecycle recorder
 	Check       bool   // -check: heavy invariant scans (compatible with everything)
+	Campaign    bool   // run executes inside an ibcamp campaign worker
 }
 
 // featureRule is one row of the compatibility table: a combination
@@ -77,6 +78,16 @@ var featureRules = []featureRule{
 		applies: func(f FeatureSet) bool { return f.PacketTrace && f.Engine == "shard" },
 		err: func(f FeatureSet) error {
 			return fmt.Errorf("ibasim: packet tracing requires the sequential engine")
+		},
+	},
+	{
+		// A campaign worker's stdout carries the coordinator protocol
+		// (heartbeats, the ok line) and its result must serialize to
+		// the engine-invariant artifact; the tracer satisfies neither.
+		name:    "trace-unsupported-in-campaign",
+		applies: func(f FeatureSet) bool { return f.PacketTrace && f.Campaign },
+		err: func(f FeatureSet) error {
+			return fmt.Errorf("ibasim: packet tracing is unsupported inside campaign workers")
 		},
 	},
 }

@@ -40,6 +40,12 @@ func TestFeatureSetTable(t *testing.T) {
 		{"lag-negative-wins-engine", FeatureSet{Engine: "seq", LagNs: -5}, "negative lag -5ns"},
 		{"trace-on-shard", FeatureSet{Engine: "shard", PacketTrace: true}, "packet tracing requires the sequential engine"},
 		{"trace-on-shard-with-check", FeatureSet{Engine: "shard", PacketTrace: true, Check: true}, "packet tracing requires the sequential engine"},
+
+		{"campaign-seq", FeatureSet{Engine: "seq", Campaign: true}, ""},
+		{"campaign-shard", FeatureSet{Engine: "shard", Shards: 4, Campaign: true}, ""},
+		{"campaign-check", FeatureSet{Campaign: true, Check: true}, ""},
+		{"trace-in-campaign", FeatureSet{Campaign: true, PacketTrace: true}, "packet tracing is unsupported inside campaign workers"},
+		{"trace-in-campaign-shard-wins", FeatureSet{Engine: "shard", Campaign: true, PacketTrace: true}, "packet tracing requires the sequential engine"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,149 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+)
+
+const tinySpec = `{
+  "name": "tiny",
+  "sizes": [8],
+  "links": 4,
+  "mr": 2,
+  "packetSizes": [32],
+  "seeds": 2,
+  "loadLo": 0.01,
+  "warmupNs": 2000,
+  "measureNs": 10000,
+  "drainGraceNs": 2000
+}`
+
+func TestParseSpecStrict(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"unknown-field", `{"name":"x","sizes":[8],"links":4,"mr":2,"packetSizes":[32],"loadLo":0.01,"bogus":1}`, "unknown field"},
+		{"trailing-garbage", tinySpec + `{"again":true}`, "trailing data"},
+		{"no-sizes", `{"name":"x","sizes":[],"links":4,"mr":2,"packetSizes":[32],"loadLo":0.01}`, "no sizes"},
+		{"bad-links", `{"name":"x","sizes":[8],"links":0,"mr":2,"packetSizes":[32],"loadLo":0.01}`, "links 0"},
+		{"bad-load", `{"name":"x","sizes":[8],"links":4,"mr":2,"packetSizes":[32],"loadLo":-1}`, "loadLo"},
+		{"load-hi-below-lo", `{"name":"x","sizes":[8],"links":4,"mr":2,"packetSizes":[32],"loadLo":0.1,"loadHi":0.01,"loadPoints":3}`, "loadHi"},
+		{"bad-pattern", `{"name":"x","sizes":[8],"links":4,"mr":2,"packetSizes":[32],"loadLo":0.01,"patterns":["zipf"]}`, "unknown pattern"},
+		{"wrong-schema", `{"schema":9,"name":"x","sizes":[8],"links":4,"mr":2,"packetSizes":[32],"loadLo":0.01}`, "spec schema 9"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec([]byte(tc.json))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("ParseSpec = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseSpecDefaults(t *testing.T) {
+	s, err := ParseSpec([]byte(`{"name":"d","sizes":[8],"links":4,"mr":2,"packetSizes":[32],"loadLo":0.01}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Schema != SpecSchemaVersion || s.Seeds != 1 || s.FirstSeed != 1 || s.LoadPoints != 1 {
+		t.Fatalf("defaults not filled: %+v", s)
+	}
+	if len(s.Patterns) != 1 || s.Patterns[0] != "uniform" {
+		t.Fatalf("default patterns = %v", s.Patterns)
+	}
+	if len(s.AdaptiveFractions) != 1 || s.AdaptiveFractions[0] != 1 {
+		t.Fatalf("default fractions = %v", s.AdaptiveFractions)
+	}
+	if s.MeasureNs == 0 || s.WarmupNs == 0 {
+		t.Fatalf("default window not filled: %+v", s)
+	}
+}
+
+func TestExpandPlanShape(t *testing.T) {
+	s, err := ParseSpec([]byte(tinySpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 size x 1 pkt x 1 pattern x 1 fraction x 1 load x 2 seeds.
+	if len(plan.Jobs) != 2 || len(plan.Groups) != 1 {
+		t.Fatalf("plan = %d jobs / %d groups, want 2/1", len(plan.Jobs), len(plan.Groups))
+	}
+	g := plan.Groups[0]
+	if len(g.JobIdx) != 2 || g.Seeds[0] != 1 || g.Seeds[1] != 2 {
+		t.Fatalf("group deps = %v seeds %v", g.JobIdx, g.Seeds)
+	}
+	for _, j := range plan.Jobs {
+		if j.Hash != j.Spec.Hash() {
+			t.Fatalf("planned hash %s does not match spec hash %s", j.Hash, j.Spec.Hash())
+		}
+	}
+}
+
+// TestExpandDedupsIdenticalCells: listing the same adaptive fraction
+// twice plans two groups that share the same underlying jobs — dedup
+// by content address, the "repeated jobs are free" property.
+func TestExpandDedupsIdenticalCells(t *testing.T) {
+	s, err := ParseSpec([]byte(`{
+	  "name": "dup", "sizes": [8], "links": 4, "mr": 2,
+	  "packetSizes": [32], "seeds": 2, "loadLo": 0.01,
+	  "adaptiveFractions": [1, 1]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(plan.Groups))
+	}
+	if len(plan.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2 (the duplicate cell must dedup)", len(plan.Jobs))
+	}
+	for i := range plan.Groups[0].JobIdx {
+		if plan.Groups[0].JobIdx[i] != plan.Groups[1].JobIdx[i] {
+			t.Fatalf("duplicate groups do not share jobs: %v vs %v",
+				plan.Groups[0].JobIdx, plan.Groups[1].JobIdx)
+		}
+	}
+}
+
+// TestExpandExecDoesNotMoveHashes: the same sweep planned with
+// different execution hints must address the same artifacts, so a
+// store populated by a sequential campaign satisfies a sharded rerun.
+func TestExpandExecDoesNotMoveHashes(t *testing.T) {
+	seq, err := ParseSpec([]byte(tinySpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardJSON := strings.Replace(tinySpec, `"name": "tiny",`,
+		`"name": "tiny", "exec": {"engine": "shard", "shards": 4},`, 1)
+	shard, err := ParseSpec([]byte(shardJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := seq.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := shard.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Jobs) != len(p2.Jobs) {
+		t.Fatalf("job counts differ: %d vs %d", len(p1.Jobs), len(p2.Jobs))
+	}
+	for i := range p1.Jobs {
+		if p1.Jobs[i].Hash != p2.Jobs[i].Hash {
+			t.Fatalf("job %d: exec hints moved the hash: %s vs %s", i, p1.Jobs[i].Hash, p2.Jobs[i].Hash)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package campaign
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testHash(b byte) string {
+	return strings.Repeat(string([]byte{"0123456789abcdef"[b&0xf]}), 64)
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := testHash(0xa)
+	body := []byte(`{"hello":"world"}`)
+	if _, err := st.Get(hash); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get on empty store = %v, want ErrNotFound", err)
+	}
+	if err := st.Put(hash, body); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get(hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(body) {
+		t.Fatalf("Get = %q, want %q", got, body)
+	}
+	n, torn, err := st.Verify()
+	if err != nil || n != 1 || len(torn) != 0 {
+		t.Fatalf("Verify = (%d, %v, %v), want (1, [], nil)", n, torn, err)
+	}
+}
+
+func TestStoreRejectsBadHash(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	for _, h := range []string{"", "abc", strings.Repeat("g", 64), "../../etc/passwd"} {
+		if err := st.Put(h, nil); err == nil {
+			t.Fatalf("Put(%q) accepted a bad hash", h)
+		}
+		if _, err := st.Get(h); err == nil || errors.Is(err, ErrNotFound) {
+			t.Fatalf("Get(%q) = %v, want a bad-hash error", h, err)
+		}
+	}
+}
+
+func TestStoreDetectsCorruption(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	hash := testHash(0xb)
+	if err := st.Put(hash, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	path := st.entryPath(hash)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte of the body; the checksum must catch it.
+	data[len(data)-2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get(hash); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get on corrupted entry = %v, want ErrCorrupt", err)
+	}
+	if _, _, err := st.Verify(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Verify on corrupted store = %v, want ErrCorrupt", err)
+	}
+	if err := st.Remove(hash); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get(hash); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after Remove = %v, want ErrNotFound", err)
+	}
+}
+
+func TestStoreDetectsMisfiledEntry(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	a, b := testHash(0xc), testHash(0xd)
+	if err := st.Put(a, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Copy a's entry to b's path: checksums pass, input hash must not.
+	data, _ := os.ReadFile(st.entryPath(a))
+	os.MkdirAll(filepath.Dir(st.entryPath(b)), 0o755)
+	os.WriteFile(st.entryPath(b), data, 0o644)
+	if _, err := st.Get(b); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get on misfiled entry = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestStoreSweepTorn(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	hash := testHash(0xe)
+	if err := st.Put(hash, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// A writer died mid-Put: its temp file survives.
+	dir := filepath.Dir(st.entryPath(hash))
+	tornPath := filepath.Join(dir, tmpPrefix+"12345")
+	if err := os.WriteFile(tornPath, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, torn, err := st.Verify()
+	if err != nil || n != 1 || len(torn) != 1 {
+		t.Fatalf("Verify = (%d, %v, %v), want 1 entry and 1 torn file", n, torn, err)
+	}
+	removed, err := st.SweepTorn()
+	if err != nil || len(removed) != 1 {
+		t.Fatalf("SweepTorn = (%v, %v), want 1 removal", removed, err)
+	}
+	if _, err := os.Stat(tornPath); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("torn file survived the sweep: %v", err)
+	}
+	if _, err := st.Get(hash); err != nil {
+		t.Fatalf("sweep damaged a real entry: %v", err)
+	}
+}

@@ -80,6 +80,15 @@ type RunResult struct {
 	ReorderPeakHeld   int
 	ReorderAvgDelayNs float64
 
+	// Retry reports the host retry machinery's work on this run,
+	// populated whenever a retry policy was configured — fault campaign
+	// or not — so orchestration layers can surface flaky-run
+	// diagnostics (a run that needed many re-injections, or whose worst
+	// packet brushed the retry budget) without parsing DegradedStats.
+	// All zero when Fabric.Retry is disabled. Engine-invariant: the
+	// sharded engine reproduces these counters bit-exactly.
+	Retry RetryStats
+
 	// Degraded-mode observables; all zero unless RunSpec.Faults ran a
 	// campaign.
 	Degraded DegradedStats
@@ -106,6 +115,20 @@ type AuditStats struct {
 	Violations int
 	// First is the first violation's message ("" when clean).
 	First string
+}
+
+// RetryStats condenses the fabric's retry counters for result
+// plumbing. BackoffCapNs is the effective ceiling the exponential
+// backoff saturated at (RetryConfig.BackoffMax, or
+// fabric.DefaultBackoffCap when unset).
+type RetryStats struct {
+	Retries        uint64
+	Lost           uint64
+	DroppedTimeout uint64
+	// MaxAttempts is the worst single packet's re-injection count;
+	// compare against the policy's MaxRetries budget.
+	MaxAttempts  int
+	BackoffCapNs int64
 }
 
 // DegradedStats reports how a run behaved under a fault campaign.
@@ -212,6 +235,16 @@ func RunObserved(spec RunSpec, observe func(*fabric.Network)) (RunResult, error)
 		OutOfOrderFraction: col.OutOfOrderFraction(),
 		ReorderPeakHeld:    col.Reorder.PeakHeld,
 		ReorderAvgDelayNs:  col.Reorder.AvgReorderDelay(),
+	}
+	if fcfg.Retry.Enabled() {
+		fs := net.FaultTotals()
+		res.Retry = RetryStats{
+			Retries:        fs.Retries,
+			Lost:           fs.Lost,
+			DroppedTimeout: fs.DroppedTimeout,
+			MaxAttempts:    fs.MaxAttempts,
+			BackoffCapNs:   int64(fcfg.Retry.EffectiveBackoffCap()),
+		}
 	}
 	if inj != nil {
 		dog.Stop()

@@ -3,15 +3,35 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
 	"ibasim/internal/sim"
 	"ibasim/internal/traffic"
 )
 
-// PatternSpec names a traffic pattern for the harness.
+// PatternSpec names a traffic pattern for the harness. It serializes
+// into campaign job specs, so the JSON field names are part of the
+// canonical job encoding.
 type PatternSpec struct {
-	Kind     string  // "uniform", "bit-reversal", "hot-spot"
-	Fraction float64 // hot-spot share (0.05, 0.10, 0.20)
+	Kind     string  `json:"kind"`               // "uniform", "bit-reversal", "hot-spot"
+	Fraction float64 `json:"fraction,omitempty"` // hot-spot share (0.05, 0.10, 0.20)
+}
+
+// ParsePattern reads the CLI/campaign string form of a pattern:
+// "uniform", "bit-reversal", or "hot-spot:F" with F the hot fraction.
+func ParsePattern(s string) (PatternSpec, error) {
+	switch {
+	case s == "uniform" || s == "bit-reversal":
+		return PatternSpec{Kind: s}, nil
+	case strings.HasPrefix(s, "hot-spot:"):
+		f, err := strconv.ParseFloat(strings.TrimPrefix(s, "hot-spot:"), 64)
+		if err != nil {
+			return PatternSpec{}, fmt.Errorf("experiments: bad hot-spot fraction in %q", s)
+		}
+		return PatternSpec{Kind: "hot-spot", Fraction: f}, nil
+	}
+	return PatternSpec{}, fmt.Errorf("experiments: unknown pattern %q", s)
 }
 
 func (ps PatternSpec) String() string {

@@ -118,6 +118,15 @@ type Config struct {
 	// internal/ib's constants; they are fixed by the paper's model.
 }
 
+// DefaultBackoffCap is the documented ceiling on the exponential
+// retry backoff when RetryConfig.BackoffMax is left zero: ~1.05 ms of
+// simulated time (1<<20 ns). Before this cap existed the doubling grew
+// unbounded — a policy with a large retry budget and no explicit max
+// could push a re-injection arbitrarily far past the measurement
+// window (and, at 60+ attempts, overflow sim.Time). Every backoff
+// computation now saturates at EffectiveBackoffCap.
+const DefaultBackoffCap sim.Time = 1 << 20
+
 // RetryConfig bounds how hard a source works to get a packet through
 // a faulty fabric before declaring it lost.
 type RetryConfig struct {
@@ -127,7 +136,8 @@ type RetryConfig struct {
 
 	// BackoffBase is the delay before the first re-injection; each
 	// further attempt doubles it (exponential backoff), capped at
-	// BackoffMax when that is set.
+	// BackoffMax — or at DefaultBackoffCap when BackoffMax is zero, so
+	// the delay never grows unbounded.
 	BackoffBase sim.Time
 	BackoffMax  sim.Time
 
@@ -141,21 +151,31 @@ type RetryConfig struct {
 // Enabled reports whether any retry machinery is active.
 func (r RetryConfig) Enabled() bool { return r.MaxRetries > 0 || r.SendTimeout > 0 }
 
+// EffectiveBackoffCap is the ceiling backoff saturates at: BackoffMax
+// when set, DefaultBackoffCap otherwise.
+func (r RetryConfig) EffectiveBackoffCap() sim.Time {
+	if r.BackoffMax > 0 {
+		return r.BackoffMax
+	}
+	return DefaultBackoffCap
+}
+
 // backoff returns the re-injection delay for the given attempt number
-// (1-based).
+// (1-based), saturating at EffectiveBackoffCap.
 func (r RetryConfig) backoff(attempt int) sim.Time {
+	cap := r.EffectiveBackoffCap()
 	d := r.BackoffBase
 	if d <= 0 {
 		d = 1
 	}
 	for i := 1; i < attempt; i++ {
 		d *= 2
-		if r.BackoffMax > 0 && d >= r.BackoffMax {
-			return r.BackoffMax
+		if d >= cap {
+			return cap
 		}
 	}
-	if r.BackoffMax > 0 && d > r.BackoffMax {
-		d = r.BackoffMax
+	if d > cap {
+		d = cap
 	}
 	return d
 }

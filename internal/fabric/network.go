@@ -145,9 +145,13 @@ type FaultStats struct {
 
 	// Retries counts re-injections of dropped packets at their source;
 	// Lost counts packets discarded for good (retry budget exhausted
-	// or retries disabled).
-	Retries uint64
-	Lost    uint64
+	// or retries disabled). MaxAttempts is the highest per-packet
+	// re-injection count any single packet reached — the flaky-run
+	// diagnostic campaigns surface (a run whose MaxAttempts brushes
+	// the retry budget was close to losing traffic).
+	Retries     uint64
+	Lost        uint64
+	MaxAttempts int
 }
 
 // Dropped returns the total number of drop events.
@@ -188,6 +192,9 @@ func (c *execCtx) dropPacket(pkt *ib.Packet, reason DropReason) {
 	if rp.MaxRetries > 0 && pkt.Attempts < rp.MaxRetries {
 		pkt.Attempts++
 		c.faults.Retries++
+		if pkt.Attempts > c.faults.MaxAttempts {
+			c.faults.MaxAttempts = pkt.Attempts
+		}
 		c.scheduleRequeue(rp.backoff(pkt.Attempts), c.net.Hosts[pkt.Src], pkt)
 		return
 	}

@@ -276,12 +276,13 @@ func partitionSwitches(topo interface {
 }
 
 // retryFloor is the minimum simulated delay a retry requeue can carry:
-// the backoff base, capped by the backoff maximum when that is lower,
+// the backoff base, capped by the effective backoff ceiling when that
+// is lower (an unset BackoffMax saturates at DefaultBackoffCap),
 // floored at 1 (backoff clamps non-positive bases to 1).
 func retryFloor(r RetryConfig) sim.Time {
 	b := r.BackoffBase
-	if r.BackoffMax > 0 && r.BackoffMax < b {
-		b = r.BackoffMax
+	if cap := r.EffectiveBackoffCap(); cap < b {
+		b = cap
 	}
 	if b <= 0 {
 		b = 1
@@ -556,6 +557,9 @@ func (n *Network) FaultTotals() FaultStats {
 		t.DroppedTimeout += s.faults.DroppedTimeout
 		t.Retries += s.faults.Retries
 		t.Lost += s.faults.Lost
+		if s.faults.MaxAttempts > t.MaxAttempts {
+			t.MaxAttempts = s.faults.MaxAttempts
+		}
 	}
 	return t
 }

@@ -11,6 +11,7 @@
 package faults
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -303,11 +304,169 @@ type jsonCampaign struct {
 	} `json:"watchdog"`
 }
 
-// ParseJSON decodes the JSON-file campaign format.
+// jsonRule is one row of the campaign-JSON validation table, in the
+// FeatureSet style: an ordered list of (predicate, error) pairs
+// checked first-match-wins, so every rejection carries one canonical
+// message naming the offending JSON path. The decoder layer above the
+// table already rejects malformed syntax, NaN/Infinity (not JSON),
+// fractional or overflowing times, and unknown fields — each with the
+// line:column where decoding stopped.
+type jsonRule struct {
+	name    string
+	applies func(*jsonCampaign) bool
+	err     func(*jsonCampaign) error
+}
+
+// firstEvent returns the index of the first event failing pred, or -1.
+func (jc *jsonCampaign) firstEvent(pred func(atNs int64, kind string) bool) int {
+	for i, e := range jc.Events {
+		if pred(e.AtNs, e.Kind) {
+			return i
+		}
+	}
+	return -1
+}
+
+var jsonRules = []jsonRule{
+	{
+		name: "event-kind-known",
+		applies: func(jc *jsonCampaign) bool {
+			return jc.firstEvent(func(_ int64, k string) bool { _, err := parseKind(k); return err != nil }) >= 0
+		},
+		err: func(jc *jsonCampaign) error {
+			i := jc.firstEvent(func(_ int64, k string) bool { _, err := parseKind(k); return err != nil })
+			return fmt.Errorf("faults: campaign JSON: events[%d].kind: unknown event kind %q", i, jc.Events[i].Kind)
+		},
+	},
+	{
+		name: "event-time-non-negative",
+		applies: func(jc *jsonCampaign) bool {
+			return jc.firstEvent(func(at int64, _ string) bool { return at < 0 }) >= 0
+		},
+		err: func(jc *jsonCampaign) error {
+			i := jc.firstEvent(func(at int64, _ string) bool { return at < 0 })
+			return fmt.Errorf("faults: campaign JSON: events[%d].atNs = %d is negative", i, jc.Events[i].AtNs)
+		},
+	},
+	{
+		name:    "random-flaps-count-positive",
+		applies: func(jc *jsonCampaign) bool { return jc.RandomFlaps != nil && jc.RandomFlaps.N <= 0 },
+		err: func(jc *jsonCampaign) error {
+			return fmt.Errorf("faults: campaign JSON: randomFlaps.n = %d must be positive", jc.RandomFlaps.N)
+		},
+	},
+	{
+		name:    "random-flaps-duration-positive",
+		applies: func(jc *jsonCampaign) bool { return jc.RandomFlaps != nil && jc.RandomFlaps.DownForNs <= 0 },
+		err: func(jc *jsonCampaign) error {
+			return fmt.Errorf("faults: campaign JSON: randomFlaps.downForNs = %d must be positive", jc.RandomFlaps.DownForNs)
+		},
+	},
+	{
+		name:    "random-flaps-window-sane",
+		applies: func(jc *jsonCampaign) bool {
+			return jc.RandomFlaps != nil && (jc.RandomFlaps.FromNs < 0 || jc.RandomFlaps.ToNs <= jc.RandomFlaps.FromNs)
+		},
+		err: func(jc *jsonCampaign) error {
+			return fmt.Errorf("faults: campaign JSON: randomFlaps window [fromNs=%d, toNs=%d) is empty or negative",
+				jc.RandomFlaps.FromNs, jc.RandomFlaps.ToNs)
+		},
+	},
+	{
+		name:    "auto-reconfig-non-negative",
+		applies: func(jc *jsonCampaign) bool { return jc.AutoReconfigNs < 0 },
+		err: func(jc *jsonCampaign) error {
+			return fmt.Errorf("faults: campaign JSON: autoReconfigNs = %d is negative", jc.AutoReconfigNs)
+		},
+	},
+	{
+		name:    "sweep-delay-non-negative",
+		applies: func(jc *jsonCampaign) bool { return jc.SweepDelayNs < 0 },
+		err: func(jc *jsonCampaign) error {
+			return fmt.Errorf("faults: campaign JSON: sweepDelayNs = %d is negative", jc.SweepDelayNs)
+		},
+	},
+	{
+		name:    "per-switch-delay-non-negative",
+		applies: func(jc *jsonCampaign) bool { return jc.PerSwitchDelayNs < 0 },
+		err: func(jc *jsonCampaign) error {
+			return fmt.Errorf("faults: campaign JSON: perSwitchDelayNs = %d is negative", jc.PerSwitchDelayNs)
+		},
+	},
+	{
+		name: "watchdog-non-negative",
+		applies: func(jc *jsonCampaign) bool {
+			return jc.Watchdog != nil && (jc.Watchdog.SampleEveryNs < 0 || jc.Watchdog.HorizonNs < 0)
+		},
+		err: func(jc *jsonCampaign) error {
+			return fmt.Errorf("faults: campaign JSON: watchdog {sampleEveryNs=%d, horizonNs=%d} has a negative field",
+				jc.Watchdog.SampleEveryNs, jc.Watchdog.HorizonNs)
+		},
+	},
+	{
+		name: "schedules-something",
+		applies: func(jc *jsonCampaign) bool {
+			return len(jc.Events) == 0 && jc.RandomFlaps == nil
+		},
+		err: func(jc *jsonCampaign) error {
+			return fmt.Errorf("faults: campaign JSON schedules no events")
+		},
+	},
+}
+
+// lineCol converts a byte offset into 1-based line:column for decoder
+// error positions.
+func lineCol(data []byte, off int64) (line, col int) {
+	line, col = 1, 1
+	for i := int64(0); i < off && i < int64(len(data)); i++ {
+		if data[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
+// decodeErr wraps a decoder failure with the position where decoding
+// stopped. Syntax and type errors carry their own offset; everything
+// else (unknown fields, number overflow) uses the decoder's input
+// offset, which points just past the offending token.
+func decodeErr(data []byte, dec *json.Decoder, err error) error {
+	off := dec.InputOffset()
+	switch e := err.(type) {
+	case *json.SyntaxError:
+		off = e.Offset
+	case *json.UnmarshalTypeError:
+		off = e.Offset
+	}
+	line, col := lineCol(data, off)
+	return fmt.Errorf("faults: bad campaign JSON at line %d col %d: %w", line, col, err)
+}
+
+// ParseJSON decodes the JSON-file campaign format strictly: unknown
+// fields, non-JSON numbers (NaN/Infinity), fractional or overflowing
+// times and trailing garbage are rejected with the position where
+// decoding stopped; decoded values then pass the ordered jsonRules
+// validation table, whose errors name the offending JSON path. A
+// malformed campaign fails loudly here instead of silently zeroing
+// fields and simulating the wrong failure schedule.
 func ParseJSON(data []byte) (*Campaign, error) {
 	var jc jsonCampaign
-	if err := json.Unmarshal(data, &jc); err != nil {
-		return nil, fmt.Errorf("faults: bad campaign JSON: %w", err)
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jc); err != nil {
+		return nil, decodeErr(data, dec, err)
+	}
+	if dec.More() {
+		line, col := lineCol(data, dec.InputOffset())
+		return nil, fmt.Errorf("faults: bad campaign JSON at line %d col %d: trailing data after campaign object", line, col)
+	}
+	for _, r := range jsonRules {
+		if r.applies(&jc) {
+			return nil, r.err(&jc)
+		}
 	}
 	c := &Campaign{
 		AutoReconfig:   sim.Time(jc.AutoReconfigNs),
@@ -315,13 +474,7 @@ func ParseJSON(data []byte) (*Campaign, error) {
 		PerSwitchDelay: sim.Time(jc.PerSwitchDelayNs),
 	}
 	for _, e := range jc.Events {
-		k, err := parseKind(e.Kind)
-		if err != nil {
-			return nil, err
-		}
-		if e.AtNs < 0 {
-			return nil, fmt.Errorf("faults: negative event time %d", e.AtNs)
-		}
+		k, _ := parseKind(e.Kind) // kind validated by the rules table
 		c.Events = append(c.Events, Event{At: sim.Time(e.AtNs), Kind: k, A: e.A, B: e.B, Switch: e.Switch})
 	}
 	if jc.RandomFlaps != nil {
@@ -335,9 +488,6 @@ func ParseJSON(data []byte) (*Campaign, error) {
 	if jc.Watchdog != nil {
 		c.Watchdog.SampleEvery = sim.Time(jc.Watchdog.SampleEveryNs)
 		c.Watchdog.Horizon = sim.Time(jc.Watchdog.HorizonNs)
-	}
-	if len(c.Events) == 0 && c.Random.N == 0 {
-		return nil, fmt.Errorf("faults: campaign JSON schedules no events")
 	}
 	return c, nil
 }

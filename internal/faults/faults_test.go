@@ -127,6 +127,82 @@ func TestParseJSON(t *testing.T) {
 	}
 }
 
+// TestParseJSONStrict pins the hardened loader: unknown fields,
+// non-JSON numbers, fractional times and out-of-range values are
+// rejected with positional messages instead of being silently zeroed
+// or truncated, in the ordered-rules style of the FeatureSet table.
+func TestParseJSONStrict(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string // required error substring
+	}{
+		{"unknown-top-level-field",
+			`{"events":[{"atNs":1,"kind":"reconfig"}],"autoReconfgNs":100}`,
+			`unknown field "autoReconfgNs"`},
+		{"unknown-event-field",
+			`{"events":[{"atNs":1,"kind":"reconfig","swich":2}]}`,
+			`unknown field "swich"`},
+		{"nan-time",
+			`{"events":[{"atNs":NaN,"kind":"reconfig"}]}`,
+			"line 1 col"},
+		{"fractional-time",
+			`{"events":[{"atNs":1.5,"kind":"reconfig"}]}`,
+			"line 1 col"},
+		{"overflow-time",
+			`{"events":[{"atNs":1e400,"kind":"reconfig"}]}`,
+			"line 1 col"},
+		{"trailing-garbage",
+			`{"events":[{"atNs":1,"kind":"reconfig"}]} true`,
+			"trailing data"},
+		{"negative-event-time",
+			`{"events":[{"atNs":5,"kind":"reconfig"},{"atNs":-3,"kind":"reconfig"}]}`,
+			"events[1].atNs = -3 is negative"},
+		{"unknown-kind-positional",
+			`{"events":[{"atNs":5,"kind":"reconfig"},{"atNs":6,"kind":"melt"}]}`,
+			`events[1].kind: unknown event kind "melt"`},
+		{"negative-auto-reconfig",
+			`{"events":[{"atNs":1,"kind":"reconfig"}],"autoReconfigNs":-1}`,
+			"autoReconfigNs = -1 is negative"},
+		{"negative-sweep-delay",
+			`{"events":[{"atNs":1,"kind":"reconfig"}],"sweepDelayNs":-7}`,
+			"sweepDelayNs = -7 is negative"},
+		{"negative-watchdog",
+			`{"events":[{"atNs":1,"kind":"reconfig"}],"watchdog":{"sampleEveryNs":-2,"horizonNs":10}}`,
+			"watchdog {sampleEveryNs=-2, horizonNs=10} has a negative field"},
+		{"zero-flap-count",
+			`{"randomFlaps":{"n":0,"downForNs":10,"fromNs":0,"toNs":100}}`,
+			"randomFlaps.n = 0 must be positive"},
+		{"zero-flap-duration",
+			`{"randomFlaps":{"n":2,"downForNs":0,"fromNs":0,"toNs":100}}`,
+			"randomFlaps.downForNs = 0 must be positive"},
+		{"empty-flap-window",
+			`{"randomFlaps":{"n":2,"downForNs":10,"fromNs":100,"toNs":100}}`,
+			"randomFlaps window [fromNs=100, toNs=100) is empty or negative"},
+		{"negative-flap-window",
+			`{"randomFlaps":{"n":2,"downForNs":10,"fromNs":-5,"toNs":100}}`,
+			"randomFlaps window [fromNs=-5, toNs=100) is empty or negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := faults.ParseJSON([]byte(tc.data))
+			if err == nil {
+				t.Fatalf("ParseJSON(%s) accepted", tc.data)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("ParseJSON(%s) = %v, want error containing %q", tc.data, err, tc.want)
+			}
+		})
+	}
+
+	// Positional reporting: the error for a second-line defect names
+	// line 2.
+	multi := "{\n\"events\": [{\"atNs\": 1.5, \"kind\": \"reconfig\"}]\n}"
+	if _, err := faults.ParseJSON([]byte(multi)); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("multi-line positional error = %v, want line 2", err)
+	}
+}
+
 // TestCampaignDegradedModeRerunsByteIdentical is the ISSUE's
 // acceptance campaign: seeded random flaps plus a switch outage longer
 // than the send timeout. Two runs must agree exactly; the run must see

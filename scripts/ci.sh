@@ -74,4 +74,36 @@ GOMAXPROCS=4 go test -race -count=1 -run 'TestChannelBounds' -v ./internal/exper
 echo "==> relaxed-exactness smoke (-lag: deterministic, auditor-clean, statistically close to the exact oracle)"
 GOMAXPROCS=4 go test -race -count=1 -run 'TestRelaxed' -v ./internal/experiments/
 
+echo "==> crash-tolerance suite (SIGKILL mid-job, torn-store audit, byte-identical resume)"
+GOMAXPROCS=4 go test -race -count=1 -run 'TestWorkerSIGKILL|TestCampaign|TestResume|TestCorrupt|TestHungWorker|TestStore' -v ./internal/campaign/
+
+echo "==> campaign smoke (SIGTERM the coordinator mid-run, resume, diff vs clean + in-process oracle, zero torn files)"
+CAMPDIR=$(mktemp -d)
+trap 'rm -rf "$CAMPDIR"' EXIT
+go build -race -o "$CAMPDIR/ibcamp" ./cmd/ibcamp
+go build -race -o "$CAMPDIR/ibbench" ./cmd/ibbench
+"$CAMPDIR/ibbench" -emit-campaign "$CAMPDIR/camp.json" \
+  -sizes 8 -topos 3 -loads 2 -warmup 10000 -measure 50000
+# Clean uninterrupted run — the reference aggregate.
+"$CAMPDIR/ibcamp" run -spec "$CAMPDIR/camp.json" -store "$CAMPDIR/store-clean" -q \
+  > "$CAMPDIR/agg-clean.txt"
+# The sequential in-process oracle must reproduce it byte-for-byte.
+"$CAMPDIR/ibbench" -exp campaign -campaign "$CAMPDIR/camp.json" > "$CAMPDIR/agg-oracle.txt"
+cmp "$CAMPDIR/agg-clean.txt" "$CAMPDIR/agg-oracle.txt"
+# Interrupted run: SIGTERM the coordinator mid-campaign...
+"$CAMPDIR/ibcamp" run -spec "$CAMPDIR/camp.json" -store "$CAMPDIR/store-resume" -q \
+  > "$CAMPDIR/agg-interrupted.txt" 2>/dev/null &
+CAMP_PID=$!
+sleep 0.3
+kill -TERM "$CAMP_PID" 2>/dev/null || true
+wait "$CAMP_PID" || true
+# ...then resume into the same store: byte-identical to the clean run.
+"$CAMPDIR/ibcamp" run -spec "$CAMPDIR/camp.json" -store "$CAMPDIR/store-resume" -q \
+  > "$CAMPDIR/agg-resumed.txt"
+cmp "$CAMPDIR/agg-clean.txt" "$CAMPDIR/agg-resumed.txt"
+# Zero torn files, every artifact hash-verified (verify exits 1 otherwise).
+"$CAMPDIR/ibcamp" verify -store "$CAMPDIR/store-resume"
+rm -rf "$CAMPDIR"
+trap - EXIT
+
 echo "CI OK"
