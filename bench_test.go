@@ -66,6 +66,26 @@ func BenchmarkFigure3Unfused(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure3ArbScan regenerates the panel with the scanning
+// arbiter (-arb=scan): the full round-robin rescan oracle. The delta
+// against BenchmarkFigure3 is the end-to-end win of the wake-list
+// arbiter; scripts/bench.sh records both — plus hot-spot congested
+// variants — in BENCH_arb.{txt,json}.
+func BenchmarkFigure3ArbScan(b *testing.B) {
+	sc := benchScale()
+	sc.Arb = "scan"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3(sc, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Write(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFigure3Shards regenerates the Figure 3 panel on a
 // 64-switch fabric under each engine: the sequential baseline, then
 // the conservative-parallel engine at 2/4/8 shards. Results are
@@ -273,6 +293,37 @@ func BenchmarkReorderCost(b *testing.B) {
 		}
 		b.ReportMetric(res.OutOfOrderFraction, "ooo-fraction")
 		b.ReportMetric(float64(res.ReorderPeakHeld), "reorder-peak")
+	}
+}
+
+// BenchmarkArbHotSpot measures each arbiter on a saturated hot-spot
+// run — the congested regime the wake lists target, where the scan
+// re-probes a tree of blocked heads on every kick while the wake
+// arbiter probes each only when its blocking condition changes.
+// Results are bit-identical across sub-benchmarks (the arbiter
+// differential suite enforces it); only wall-clock time may differ.
+func BenchmarkArbHotSpot(b *testing.B) {
+	topo := topology.MustGenerateIrregular(topology.IrregularSpec{
+		NumSwitches: 16, HostsPerSwitch: 4, InterSwitch: 4, Seed: 1,
+	})
+	hot, err := traffic.NewHotSpot(topo.NumHosts(), 0.3, sim.NewRNG(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, arb := range []string{"wake", "scan"} {
+		b.Run(arb, func(b *testing.B) {
+			sc := benchScale()
+			sc.Arb = arb
+			spec := sc.Spec(topo, 2, 32, 1, hot, 1, true)
+			spec.Traffic.LoadBytesPerNsPerHost = 0.15 // past saturation
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Run(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -110,6 +110,7 @@ func main() {
 	verbose := flag.Bool("v", false, "with -engine shard: append the per-shard imbalance report (events, stalls, cross-shard mail)")
 	check := flag.Bool("check", false, "enable heavy invariant audits on every run (results are bit-identical)")
 	fuse := flag.Bool("fuse", true, "hop-fusion fast path; -fuse=false runs the per-hop event engine (results are bit-identical)")
+	arb := flag.String("arb", "wake", "crossbar arbiter: wake (event-driven wait lists) or scan (round-robin rescan oracle); results are bit-identical")
 	faultSpec := flag.String("faults", "rand:4:15000@50000-150000; autoreconfig:10000", "faults: campaign spec string or @file.json")
 	faultSeed := flag.Uint64("fault-seed", 1, "faults: seed for the campaign's randomized elements")
 	emitCampaign := flag.String("emit-campaign", "", "write an ibcamp campaign spec built from the current flags to FILE and exit")
@@ -125,7 +126,7 @@ func main() {
 
 	// Reject unsupported flag combinations before any work starts; the
 	// FeatureSet table is the single source of truth for what composes.
-	if err := (ibasim.FeatureSet{Engine: *engine, Shards: *shards, LagNs: *lag, Check: *check}).Validate(); err != nil {
+	if err := (ibasim.FeatureSet{Engine: *engine, Shards: *shards, LagNs: *lag, Check: *check, Arb: *arb}).Validate(); err != nil {
 		fail(err)
 	}
 
@@ -192,6 +193,7 @@ func main() {
 	}
 	sc.Check = *check
 	sc.Unfused = !*fuse
+	sc.Arb = *arb
 	pats := []experiments.PatternSpec{{Kind: "uniform"}}
 	if *scaleName == "full" {
 		pats = experiments.Table1Patterns
@@ -234,7 +236,7 @@ func main() {
 			LagNs:             *lag,
 			Exec: experiments.ExecSpec{
 				Engine: *engine, Shards: sc.Shards, Partition: sc.Partition,
-				Sched: *sched, Check: *check, Unfused: !*fuse,
+				Sched: *sched, Check: *check, Unfused: !*fuse, Arb: *arb,
 			},
 		}
 		if *exp == "faults" {

@@ -49,6 +49,7 @@ func main() {
 	flag.Uint64Var(&cfg.FaultSeed, "fault-seed", 0, "seed for the campaign's randomized elements (rand: flaps)")
 	flag.BoolVar(&cfg.Check, "check", false, "enable heavy invariant audits (whole-fabric credit and escape-CDG scans; results are bit-identical)")
 	flag.BoolVar(&cfg.Fuse, "fuse", cfg.Fuse, "hop-fusion fast path; -fuse=false runs the per-hop event engine (results are bit-identical)")
+	flag.StringVar(&cfg.Arb, "arb", "wake", "crossbar arbiter: wake (event-driven wait lists) or scan (round-robin rescan oracle); results are bit-identical")
 	traceN := flag.Int("packet-trace", 0, "record and print the last N packet lifecycle events")
 	sweep := flag.Bool("sweep", false, "sweep offered load and print the full curve")
 	loadLo := flag.Float64("load-lo", 0.002, "sweep: lowest per-host load")
@@ -59,7 +60,7 @@ func main() {
 
 	// Reject unsupported flag combinations before any work starts; the
 	// FeatureSet table is the single source of truth for what composes.
-	features := ibasim.FeatureSet{Engine: cfg.Engine, Shards: cfg.Shards, LagNs: cfg.LagNs, PacketTrace: *traceN > 0, Check: cfg.Check}
+	features := ibasim.FeatureSet{Engine: cfg.Engine, Shards: cfg.Shards, LagNs: cfg.LagNs, PacketTrace: *traceN > 0, Check: cfg.Check, Arb: cfg.Arb}
 	if err := features.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "ibsim:", err)
 		os.Exit(1)

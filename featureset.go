@@ -16,6 +16,7 @@ type FeatureSet struct {
 	PacketTrace bool   // -packet-trace: per-packet lifecycle recorder
 	Check       bool   // -check: heavy invariant scans (compatible with everything)
 	Campaign    bool   // run executes inside an ibcamp campaign worker
+	Arb         string // -arb: "", "wake" or "scan" crossbar arbiter
 }
 
 // featureRule is one row of the compatibility table: a combination
@@ -90,6 +91,25 @@ var featureRules = []featureRule{
 			return fmt.Errorf("ibasim: packet tracing is unsupported inside campaign workers")
 		},
 	},
+	{
+		// The arbiter is a knob with exactly two bit-identical
+		// settings; it composes with everything (tracing included —
+		// the wake arbiter preserves exact event sequences), so its
+		// only row is the name check. Tamper models force the scan
+		// arbiter at runtime (fabric.SetTamper), not here: tampering
+		// is a test-only seam with no CLI surface.
+		name: "arb-known",
+		applies: func(f FeatureSet) bool {
+			switch f.Arb {
+			case "", "wake", "scan":
+				return false
+			}
+			return true
+		},
+		err: func(f FeatureSet) error {
+			return fmt.Errorf("ibasim: unknown arbiter %q (want wake or scan)", f.Arb)
+		},
+	},
 }
 
 // Validate applies the compatibility table and returns the first
@@ -106,5 +126,5 @@ func (f FeatureSet) Validate() error {
 // features assembles the Config's feature selection; packetTrace is
 // supplied by the entry point (SimulateTraced) rather than the Config.
 func (c Config) features(packetTrace bool) FeatureSet {
-	return FeatureSet{Engine: c.Engine, Shards: c.Shards, LagNs: c.LagNs, PacketTrace: packetTrace, Check: c.Check}
+	return FeatureSet{Engine: c.Engine, Shards: c.Shards, LagNs: c.LagNs, PacketTrace: packetTrace, Check: c.Check, Arb: c.Arb}
 }

@@ -46,6 +46,21 @@ func TestFeatureSetTable(t *testing.T) {
 		{"campaign-check", FeatureSet{Campaign: true, Check: true}, ""},
 		{"trace-in-campaign", FeatureSet{Campaign: true, PacketTrace: true}, "packet tracing is unsupported inside campaign workers"},
 		{"trace-in-campaign-shard-wins", FeatureSet{Engine: "shard", Campaign: true, PacketTrace: true}, "packet tracing requires the sequential engine"},
+
+		// The arbiter composes with everything — engines, shards, lag,
+		// tracing, campaigns, Check — so its only conflict is an unknown
+		// name, and earlier rows win over it.
+		{"arb-wake", FeatureSet{Arb: "wake"}, ""},
+		{"arb-scan", FeatureSet{Arb: "scan"}, ""},
+		{"arb-scan-shard", FeatureSet{Engine: "shard", Shards: 4, Arb: "scan"}, ""},
+		{"arb-wake-lag-shard", FeatureSet{Engine: "shard", Shards: 2, LagNs: 500, Arb: "wake"}, ""},
+		{"arb-wake-trace", FeatureSet{PacketTrace: true, Arb: "wake"}, ""},
+		{"arb-scan-trace", FeatureSet{PacketTrace: true, Arb: "scan"}, ""},
+		{"arb-campaign-check", FeatureSet{Campaign: true, Check: true, Arb: "wake"}, ""},
+		{"arb-unknown", FeatureSet{Arb: "ticket"}, `unknown arbiter "ticket"`},
+		{"arb-unknown-with-check", FeatureSet{Arb: "ticket", Check: true}, `unknown arbiter "ticket"`},
+		{"arb-unknown-loses-to-engine", FeatureSet{Engine: "warp", Arb: "ticket"}, `unknown engine "warp"`},
+		{"arb-unknown-loses-to-trace", FeatureSet{Engine: "shard", PacketTrace: true, Arb: "ticket"}, "packet tracing requires the sequential engine"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -72,12 +87,14 @@ func TestCheckHasNoConflictRow(t *testing.T) {
 		for _, shards := range []int{0, 1, 2} {
 			for _, lag := range []int64{-1, 0, 100} {
 				for _, tr := range []bool{false, true} {
-					base := FeatureSet{Engine: eng, Shards: shards, LagNs: lag, PacketTrace: tr}
-					withCheck := base
-					withCheck.Check = true
-					errBase, errCheck := base.Validate(), withCheck.Validate()
-					if (errBase == nil) != (errCheck == nil) {
-						t.Fatalf("Check changed verdict for %+v: %v vs %v", base, errBase, errCheck)
+					for _, arb := range []string{"", "wake", "scan", "ticket"} {
+						base := FeatureSet{Engine: eng, Shards: shards, LagNs: lag, PacketTrace: tr, Arb: arb}
+						withCheck := base
+						withCheck.Check = true
+						errBase, errCheck := base.Validate(), withCheck.Validate()
+						if (errBase == nil) != (errCheck == nil) {
+							t.Fatalf("Check changed verdict for %+v: %v vs %v", base, errBase, errCheck)
+						}
 					}
 				}
 			}

@@ -116,6 +116,12 @@ type Config struct {
 	// packet tracer or tamper model needs to observe individual hops.
 	Fuse bool
 
+	// Arb selects the crossbar arbiter: "wake" ("" defaults to it)
+	// drains event-driven wait lists, "scan" (the -arb=scan CLI flag)
+	// is the full round-robin rescan kept as the differential oracle.
+	// Results are bit-identical either way.
+	Arb string
+
 	// Ablation knobs (§4.3 and §4.4 design axes). Zero values give
 	// the paper's evaluation setup.
 
@@ -310,6 +316,7 @@ func (c Config) spec() (experiments.RunSpec, error) {
 	sc.Measure = simTime(c.MeasureNs)
 	sc.DrainGrace = simTime(c.DrainNs)
 	sc.Unfused = !c.Fuse
+	sc.Arb = c.Arb
 	mr := c.RoutingOptions
 	if c.SourceMultipath > mr {
 		mr = c.SourceMultipath // the LID block must hold every path

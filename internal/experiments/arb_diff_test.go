@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"ibasim/internal/fabric"
+	"ibasim/internal/faults"
+	"ibasim/internal/sim"
+	"ibasim/internal/trace"
+	"ibasim/internal/traffic"
+)
+
+// The wake-list arbiter makes the same claim hop fusion and the shard
+// engine make: it optimizes how arbitration work is found, not what
+// arbitration decides. These tests enforce it with the scanning
+// arbiter (-arb=scan) as the differential oracle, comparing complete
+// RunResults — floats included — across queue geometries, schedulers,
+// shard counts, fused and unfused engines, the invariant auditor,
+// fault campaigns and a hot-spot contention storm that keeps most
+// service points parked on the wait lists.
+
+func arbVariant(t *testing.T, spec RunSpec, arb string, shards int, unfused bool) RunResult {
+	t.Helper()
+	s := spec
+	s.Fabric.Arb = arb
+	s.Fabric.Fuse = !unfused
+	if shards > 0 {
+		s.Fabric.Shards = shards
+		s.Fabric.Partition = fabric.PartitionBFS
+	}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatalf("arb=%s shards=%d unfused=%v: %v", arb, shards, unfused, err)
+	}
+	// ShardStats is an execution artifact, not a simulation observable;
+	// the differential compares results with it cleared.
+	res.ShardStats = nil
+	return res
+}
+
+// TestArbBitExact sweeps the calendar geometries of the scheduler
+// differential (tiny wheels wrap and overflow constantly, so kicks and
+// credit returns land in every structural regime) plus the heap
+// scheduler, comparing wake-arbiter runs — sequential, sharded, fused
+// and unfused — against the scan-arbiter sequential oracle.
+func TestArbBitExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many full simulations")
+	}
+	topo := shardDiffTopo(t)
+	variants := []struct {
+		name string
+		opts []sim.EngineOption
+	}{
+		{"wheel-3-0", []sim.EngineOption{sim.WithWheelGeometry(3, 0)}},
+		{"wheel-3-2", []sim.EngineOption{sim.WithWheelGeometry(3, 2)}},
+		{"wheel-4-1", []sim.EngineOption{sim.WithWheelGeometry(4, 1)}},
+		{"wheel-6-3", []sim.EngineOption{sim.WithWheelGeometry(6, 3)}},
+		{"wheel-12-2", []sim.EngineOption{sim.WithWheelGeometry(12, 2)}},
+		{"heap", []sim.EngineOption{sim.WithScheduler(sim.SchedulerHeap)}},
+	}
+	for _, v := range variants {
+		spec := shardDiffSpec(topo, v.opts...)
+		want := arbVariant(t, spec, fabric.ArbScan, 0, false)
+		if got := arbVariant(t, spec, fabric.ArbWake, 0, false); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: wake sequential diverged from scan:\n got %+v\nwant %+v", v.name, got, want)
+		}
+		if got := arbVariant(t, spec, fabric.ArbWake, 0, true); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: wake unfused diverged from scan:\n got %+v\nwant %+v", v.name, got, want)
+		}
+		for _, shards := range []int{1, 2, 4} {
+			if got := arbVariant(t, spec, fabric.ArbWake, shards, false); !reflect.DeepEqual(got, want) {
+				t.Errorf("%s: wake shards=%d diverged from scan:\n got %+v\nwant %+v", v.name, shards, got, want)
+			}
+		}
+	}
+}
+
+// TestArbBitExactChecked repeats the differential with the heavy
+// invariant auditor on: the wake arbiter must neither perturb results
+// under audit nor trip the auditor, and the audit counters themselves
+// must match event for event.
+func TestArbBitExactChecked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations")
+	}
+	spec := shardDiffSpec(shardDiffTopo(t))
+	spec.Check = true
+	want := arbVariant(t, spec, fabric.ArbScan, 0, false)
+	if want.Audit.HopChecks == 0 || want.Audit.HeavyTicks == 0 {
+		t.Fatalf("auditor did not run: %+v", want.Audit)
+	}
+	if want.Audit.Violations != 0 {
+		t.Fatalf("scan oracle run is not clean: %+v", want.Audit)
+	}
+	for _, shards := range []int{0, 2} {
+		if got := arbVariant(t, spec, fabric.ArbWake, shards, false); !reflect.DeepEqual(got, want) {
+			t.Errorf("checked wake shards=%d diverged:\n got %+v\nwant %+v", shards, got, want)
+		}
+	}
+}
+
+// TestArbBitExactFaults runs the shard differential's fault campaign
+// under both arbiters: dead ports leave stale link-waiter entries,
+// repairs wake wholesale, and Reroute rewrites the escape VL cache —
+// every degraded-mode observable must still match.
+func TestArbBitExactFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full fault campaigns")
+	}
+	topo := shardDiffTopo(t)
+	l0, l1 := topo.Links[0], topo.Links[1]
+	camp := &faults.Campaign{
+		Events: []faults.Event{
+			{At: 40_000, Kind: faults.LinkDown, A: l0.A, B: l0.B},
+			{At: 70_000, Kind: faults.LinkUp, A: l0.A, B: l0.B},
+			{At: 80_000, Kind: faults.LinkDown, A: l1.A, B: l1.B},
+			{At: 130_000, Kind: faults.LinkUp, A: l1.A, B: l1.B},
+		},
+		AutoReconfig: 5_000,
+		Watchdog:     faults.WatchdogConfig{SampleEvery: 5_000, Horizon: 120_000},
+	}
+	spec := shardDiffSpec(topo)
+	spec.Measure = 150_000
+	spec.DrainGrace = 80_000
+	spec.Faults = camp
+	spec.FaultSeed = 3
+	want := arbVariant(t, spec, fabric.ArbScan, 0, false)
+	if want.Degraded.FaultsInjected == 0 || want.Degraded.Reconfigs == 0 {
+		t.Fatalf("campaign did not exercise faults: %+v", want.Degraded)
+	}
+	for _, shards := range []int{0, 2} {
+		if got := arbVariant(t, spec, fabric.ArbWake, shards, false); !reflect.DeepEqual(got, want) {
+			t.Errorf("faults wake shards=%d diverged:\n got %+v\nwant %+v", shards, got, want)
+		}
+	}
+}
+
+// TestArbBitExactContentionStorm overloads a hot-spot destination far
+// past saturation — the regime where nearly every service point is
+// parked on a credit or link wait list most of the time, and a single
+// missed or spurious wake would shift the delivery order.
+func TestArbBitExactContentionStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs saturated simulations")
+	}
+	topo := shardDiffTopo(t)
+	hot, err := traffic.NewHotSpot(topo.NumHosts(), 0.4, sim.NewRNG(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := shardDiffSpec(topo)
+	spec.Traffic.Pattern = hot
+	spec.Traffic.LoadBytesPerNsPerHost = 0.25 // deep saturation
+	want := arbVariant(t, spec, fabric.ArbScan, 0, false)
+	got := arbVariant(t, spec, fabric.ArbWake, 0, false)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("contention storm wake diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestArbTraceIdentical pins the strongest equivalence: the recorded
+// per-hop event sequence — every receive, adaptive/escape selection
+// and delivery, in order — is identical under both arbiters. Unlike
+// fusion, attaching the tracer does NOT force the scan arbiter: the
+// wake arbiter serves the same entries at the same times, so traced
+// runs keep the fast path.
+func TestArbTraceIdentical(t *testing.T) {
+	spec := shardDiffSpec(shardDiffTopo(t))
+	runTraced := func(arb string) (*trace.Recorder, bool) {
+		s := spec
+		s.Fabric.Arb = arb
+		rec := trace.NewRecorder(4096)
+		var netRef *fabric.Network
+		_, err := RunObserved(s, func(n *fabric.Network) {
+			rec.Attach(n)
+			netRef = n
+		})
+		if err != nil {
+			t.Fatalf("arb=%s: %v", arb, err)
+		}
+		return rec, netRef.ArbWake()
+	}
+	recWake, wakeArmed := runTraced(fabric.ArbWake)
+	recScan, scanArmed := runTraced(fabric.ArbScan)
+	if !wakeArmed {
+		t.Error("tracer attachment disarmed the wake arbiter; tracing composes with wake mode")
+	}
+	if scanArmed {
+		t.Error("scan-arbiter traced run reports wake mode")
+	}
+	if recWake.Total() == 0 {
+		t.Fatal("tracer recorded nothing")
+	}
+	if recWake.Total() != recScan.Total() {
+		t.Errorf("event totals differ: wake=%d scan=%d", recWake.Total(), recScan.Total())
+	}
+	wake, scan := recWake.Events(), recScan.Events()
+	if !reflect.DeepEqual(wake, scan) {
+		for i := range wake {
+			if i >= len(scan) || wake[i] != scan[i] {
+				t.Fatalf("traced sequences diverge at event %d:\n wake %s\n scan %s", i, wake[i], scan[i])
+			}
+		}
+		t.Fatalf("traced sequences differ in length: %d vs %d", len(wake), len(scan))
+	}
+}
+
+// TestArbWakeEngagesInRealRuns complements the differentials: a plain
+// default-config run must actually run the wake arbiter and park
+// service points — otherwise every equivalence above is vacuous.
+func TestArbWakeEngagesInRealRuns(t *testing.T) {
+	spec := shardDiffSpec(shardDiffTopo(t))
+	var netRef *fabric.Network
+	if _, err := RunObserved(spec, func(n *fabric.Network) { netRef = n }); err != nil {
+		t.Fatal(err)
+	}
+	if !netRef.ArbWake() {
+		t.Error("default run does not use the wake arbiter")
+	}
+	if netRef.ArbParks() == 0 {
+		t.Error("default run parked no service points")
+	}
+}

@@ -109,3 +109,30 @@ func TestFigure3GoldenUnfused(t *testing.T) {
 		t.Fatalf("unfused artifact hash %s, want golden %s (fusion changed results)", got, figure3Golden)
 	}
 }
+
+// TestFigure3GoldenScanArb pins the -arb=scan oracle to the same
+// golden hash: the wake-list arbiter (the default, covered by the
+// artifact tests above) and the full round-robin rescan must both
+// reproduce the committed bytes exactly — arbitration strategy is a
+// work-finding optimization, never a model change.
+func TestFigure3GoldenScanArb(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a QuickScale sweep")
+	}
+	sc := QuickScale()
+	sc.Sizes = []int{8}
+	sc.Topologies = 1
+	sc.Arb = "scan"
+	res, err := Figure3(sc, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	if got := hex.EncodeToString(sum[:]); got != figure3Golden {
+		t.Fatalf("scan-arbiter artifact hash %s, want golden %s (arbiter changed results)", got, figure3Golden)
+	}
+}

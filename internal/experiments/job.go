@@ -15,7 +15,8 @@ package experiments
 //     with encoding/json in declaration order, every field present
 //     (no omitempty), after Normalize filled defaults in.
 //  2. Execution hints that cannot change the result — engine choice,
-//     shard count, partitioner, scheduler, heavy checks, fusion —
+//     shard count, partitioner, scheduler, heavy checks, fusion, the
+//     arbiter —
 //     live in ExecSpec and are EXCLUDED: a run executed sharded
 //     dedups against the same run executed sequentially, which is
 //     sound because the shard engine is bit-exact (DESIGN.md §13).
@@ -66,6 +67,7 @@ type ExecSpec struct {
 	Sched     string `json:"sched,omitempty"`     // "", "calendar" or "heap"
 	Check     bool   `json:"check,omitempty"`     // heavy invariant scans
 	Unfused   bool   `json:"unfused,omitempty"`   // disable hop fusion
+	Arb       string `json:"arb,omitempty"`       // "", "wake" or "scan" arbiter
 }
 
 // JobSpec describes one run completely. The zero value is invalid;
@@ -279,6 +281,7 @@ func (j JobSpec) Execute() (RunResult, error) {
 		fcfg.Lag = sim.Time(j.LagNs)
 	}
 	fcfg.Fuse = !j.Exec.Unfused
+	fcfg.Arb = j.Exec.Arb
 	spec := RunSpec{
 		Topo:       topo,
 		LMC:        lmcFor(j.MR),

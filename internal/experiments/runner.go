@@ -425,6 +425,12 @@ type Scale struct {
 	// Results stay bit-identical either way; the unfused engine is the
 	// differential oracle the fusion conformance tests compare against.
 	Unfused bool
+
+	// Arb selects the crossbar arbiter (the -arb CLI flag):
+	// fabric.ArbWake ("" defaults to it) or fabric.ArbScan, the
+	// rescanning oracle the arbiter conformance tests compare against.
+	// Results stay bit-identical either way.
+	Arb string
 }
 
 // QuickScale is sized for smoke tests and benchmarks.
@@ -490,6 +496,7 @@ func (sc Scale) Spec(topo *topology.Topology, mr, pktSize int, adaptiveFrac floa
 	fcfg.Partition = sc.Partition
 	fcfg.Lag = sc.Lag
 	fcfg.Fuse = !sc.Unfused
+	fcfg.Arb = sc.Arb
 	return RunSpec{
 		Topo:    topo,
 		LMC:     lmcFor(mr),

@@ -114,9 +114,28 @@ type Config struct {
 	// attaches (Network.Defuse) or a tamper model is installed.
 	Fuse bool
 
+	// Arb selects the crossbar arbiter: ArbWake (the default; "" means
+	// wake) drains an event-driven wait-list pending set, ArbScan is
+	// the full round-robin rescan kept as the differential oracle (the
+	// -arb=scan CLI flag). Results are bit-identical either way — see
+	// wake.go for the equivalence argument. The wake arbiter disarms
+	// itself at runtime while a tamper model (or a Tamper* mutation
+	// hook) is active, since those mutate forwarding state without
+	// firing the corresponding wakes.
+	Arb string
+
 	// RoutingDelay, PropagationDelay and link rate come from
 	// internal/ib's constants; they are fixed by the paper's model.
 }
+
+// Arbiter modes for Config.Arb.
+const (
+	ArbWake = "wake"
+	ArbScan = "scan"
+)
+
+// arbWake reports whether the config selects the wake-list arbiter.
+func (c Config) arbWake() bool { return c.Arb == "" || c.Arb == ArbWake }
 
 // DefaultBackoffCap is the documented ceiling on the exponential
 // retry backoff when RetryConfig.BackoffMax is left zero: ~1.05 ms of
@@ -200,6 +219,7 @@ func DefaultConfig() Config {
 		Selection:        core.DefaultSelection(),
 		AdaptiveSwitches: true,
 		Fuse:             true,
+		Arb:              ArbWake,
 	}
 }
 
@@ -234,6 +254,11 @@ func (c Config) Validate() error {
 	case "", PartitionBFS, PartitionRoundRobin:
 	default:
 		return fmt.Errorf("fabric: unknown partition strategy %q", c.Partition)
+	}
+	switch c.Arb {
+	case "", ArbWake, ArbScan:
+	default:
+		return fmt.Errorf("fabric: unknown arbiter %q (want %q or %q)", c.Arb, ArbWake, ArbScan)
 	}
 	if err := validateShardMode(c); err != nil {
 		return err

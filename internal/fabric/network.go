@@ -76,11 +76,57 @@ type Network struct {
 	fuse     bool
 	defused  bool
 	inMerged bool
+
+	// wake is the arbiter runtime switch: Cfg.Arb resolves to the
+	// wake-list arbiter, forced to the scan oracle while a tamper
+	// model is installed or a Tamper* mutation hook has fired
+	// (mutated, sticky) — those mutate forwarding state behind the
+	// wait lists' back.
+	wake    bool
+	mutated bool
 }
 
 // applyFuse recomputes the runtime fusion switch from its inputs.
 func (n *Network) applyFuse() {
 	n.fuse = n.Cfg.Fuse && !n.defused && n.tamper == (Tamper{})
+}
+
+// applyArb recomputes the arbiter runtime switch. Re-arming the wake
+// arbiter mid-run (a tamper model removed) wakes every point: the
+// wake hooks are gated off while scanning — the scan oracle must not
+// pay the bookkeeping it never reads — so the wholesale wake is what
+// makes a scan->wake transition sound (every point is re-probed, and
+// the failing ones rebuild their wait-list registrations).
+func (n *Network) applyArb() {
+	was := n.wake
+	n.wake = n.Cfg.arbWake() && n.tamper == (Tamper{}) && !n.mutated
+	if n.wake && !was {
+		for _, sw := range n.Switches {
+			sw.wakeAllPoints()
+		}
+	}
+}
+
+// forceScanArb permanently falls back to the scan arbiter: a Tamper*
+// mutation hook changed credits/occupancy/tables without firing the
+// wakes the wait lists rely on. Sticky, like Defuse.
+func (n *Network) forceScanArb() {
+	n.mutated = true
+	n.wake = false
+}
+
+// ArbWake reports whether the wake-list arbiter is currently armed.
+func (n *Network) ArbWake() bool { return n.wake }
+
+// ArbParks sums, over every switch, the wait-list registrations the
+// wake arbiter made. Tests use it to prove the wake path engaged (or
+// was forced off).
+func (n *Network) ArbParks() uint64 {
+	var p uint64
+	for _, sw := range n.Switches {
+		p += sw.parks
+	}
+	return p
 }
 
 // Defuse permanently disables hop fusion on this network, restoring
@@ -236,6 +282,7 @@ func NewNetwork(topo *topology.Topology, plan *ib.AddressPlan, cfg Config, seed 
 	}
 	net.ctl = &execCtx{net: net, id: -1, eng: net.Engine, faults: &net.Faults}
 	net.applyFuse()
+	net.applyArb()
 
 	detOnly := make(map[int]bool, len(cfg.DeterministicOnly))
 	for _, s := range cfg.DeterministicOnly {
@@ -288,6 +335,7 @@ func NewNetwork(topo *topology.Topology, plan *ib.AddressPlan, cfg Config, seed 
 		}
 		sw.out[port] = &outPort{
 			owner:    sw,
+			ownerSw:  sw,
 			id:       port,
 			peerHost: host,
 			credits:  net.fullCredits(),
@@ -341,6 +389,7 @@ func NewNetwork(topo *topology.Topology, plan *ib.AddressPlan, cfg Config, seed 
 	for _, sw := range net.Switches {
 		sw.finishWiring()
 	}
+	net.initWakeState()
 	for _, h := range net.Hosts {
 		h.finishWiring()
 	}
@@ -351,6 +400,7 @@ func NewNetwork(topo *topology.Topology, plan *ib.AddressPlan, cfg Config, seed 
 func (n *Network) wire(a *Switch, pa ib.PortID, b *Switch, pb ib.PortID) {
 	o := &outPort{
 		owner:      a,
+		ownerSw:    a,
 		id:         pa,
 		peerSwitch: b,
 		peerPort:   pb,

@@ -87,6 +87,9 @@ func (ev *fabricEvent) Do() {
 		// executes on the port owner's context, so c.eng is the engine
 		// whose quiescence matters.)
 		out.credits[vl] += n
+		if c.net.wake && out.ownerSw != nil {
+			out.ownerSw.wakeCredits(out.id, vl)
+		}
 		if c.net.fuse && !c.net.inMerged && c.eng.Quiescent() {
 			c.fusedKicks++
 			if prof.HotPhasesEnabled() {

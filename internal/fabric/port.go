@@ -24,6 +24,11 @@ type outPort struct {
 	ctx   *execCtx // the owner's execution context: credit returns run here
 	id    ib.PortID
 
+	// ownerSw is the owning switch when the port belongs to one (nil
+	// for host CA ports): credit returns wake its credit-waiter list
+	// before the follow-up allocation pass (see wake.go).
+	ownerSw *Switch
+
 	// Exactly one of peerSwitch/peerHost is set.
 	peerSwitch *Switch
 	peerPort   ib.PortID // input port number on peerSwitch

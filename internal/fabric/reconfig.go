@@ -50,6 +50,10 @@ func (n *Network) SetLinkUp(a, b int) error {
 	}
 	n.Switches[a].out[pa].down = false
 	n.Switches[b].out[pb].down = false
+	// A repaired link can unblock any point (down ports never sweep
+	// free): wake wholesale before the allocation passes run.
+	n.Switches[a].wakeAllPoints()
+	n.Switches[b].wakeAllPoints()
 	n.Switches[a].kick()
 	n.Switches[b].kick()
 	return nil
@@ -146,13 +150,17 @@ func (n *Network) SetSwitchUp(s int) error {
 		}
 		o.down = false
 		if o.peerSwitch != nil {
+			// The neighbour's transmitter toward s re-enabled: any of
+			// its points may unblock.
 			o.peerSwitch.out[o.peerPort].down = false
+			o.peerSwitch.wakeAllPoints()
 			o.peerSwitch.kick()
 		} else if o.peerHost != nil {
 			o.peerHost.out.down = false
 			o.peerHost.kick()
 		}
 	}
+	sw.wakeAllPoints()
 	sw.kick()
 	return nil
 }
@@ -210,10 +218,15 @@ func (sw *Switch) Reroute() (dropped int) {
 					}
 					slab.escape[id] = p
 				}
+				// The escape option may have moved: refresh its cached VL.
+				slab.escVL[id] = int8(sw.outVL(int(slab.sl[id]), slab.escape[id]))
 				i++
 			}
 		}
 	}
+	// Rewritten routing decisions invalidate every wait-list
+	// registration made against the old ones: wake wholesale.
+	sw.wakeAllPoints()
 	sw.kick()
 	return dropped
 }

@@ -72,6 +72,29 @@ type Switch struct {
 	// is consumed synchronously by the selector before the next call,
 	// so one scratch buffer per switch suffices.
 	candScratch []core.Candidate
+
+	// Wake-arbiter state (see wake.go). pending is the set of service
+	// points with an unconsumed wake signal; linkWaiters[port] and
+	// creditWaiters[port*NumVLs+vl] hold points blocked on that
+	// condition; waitPorts lists (dedup'd via portListed) the ports
+	// with link waiters, swept at arbitrate entry; timeParked/parkAt/
+	// parkedMask hold points whose head is not servable before a known
+	// readyAt; pointIdx maps (port*NumVLs+vl) to the point index.
+	// parks counts wait-list registrations (Network.ArbParks). All
+	// carved from network-level arenas (Network.initWakeState) once
+	// wiring is final; maintained and read only while Network.wake is
+	// armed (applyArb re-seeds the pending set on scan->wake
+	// transitions).
+	pending       pointMask
+	linkWaiters   []pointMask
+	creditWaiters []pointMask
+	waitPorts     []ib.PortID
+	portListed    []bool
+	timeParked    []int32
+	parkAt        []sim.Time
+	parkedMask    pointMask
+	pointIdx      []int32
+	parks         uint64
 }
 
 // ID returns the switch's topology ID.
@@ -97,6 +120,9 @@ func (sw *Switch) EscapeOnly() bool { return sw.escapeOnly }
 func (sw *Switch) SetEscapeOnly(v bool) {
 	sw.escapeOnly = v
 	if !v {
+		// Leaving the transient restores the adaptive options, which
+		// no wait list tracked while they were suppressed.
+		sw.wakeAllPoints()
 		sw.kick()
 	}
 }
@@ -239,8 +265,15 @@ func (sw *Switch) receive(port ib.PortID, vl int, pkt *ib.Packet) {
 		}
 		slab.escape[id] = p
 	}
+	// The SLtoVL mapping of the escape option never changes while the
+	// entry is buffered (Reroute recomputes it with the table), so
+	// resolve it once here instead of on every escape probe.
+	slab.escVL[id] = int8(sw.outVL(int(slab.sl[id]), slab.escape[id]))
 	sw.in[port].vls[vl].push(id)
 	sw.occupancy++
+	if sw.net.wake {
+		sw.wakeArrival(port, vl)
+	}
 	sw.ctx.scheduleSwitchKick(ib.RoutingDelay, sw)
 }
 
@@ -367,15 +400,16 @@ func (sw *Switch) adaptiveRoom(avail, pktCredits int) bool {
 }
 
 // escapeUsable reports whether the escape option of an entry can fire
-// now: link free and the next VL has room for the whole packet.
+// now: link free and the next VL has room for the whole packet. The
+// escape VL was resolved once at arrival (slab.escVL), so the probe
+// skips the SLtoVL multiply-and-index.
 func (sw *Switch) escapeUsable(id int32, now sim.Time) bool {
 	slab := &sw.ctx.slab
 	o := sw.out[slab.escape[id]]
 	if o == nil || !o.free(now) {
 		return false
 	}
-	vl := sw.outVL(int(slab.sl[id]), slab.escape[id])
-	return sw.net.Cfg.Split.CanUseEscape(o.credits[vl], int(slab.credits[id]))
+	return sw.net.Cfg.Split.CanUseEscape(o.credits[slab.escVL[id]], int(slab.credits[id]))
 }
 
 // outVL computes the VL a packet with service level sl will use on the
@@ -393,10 +427,24 @@ type servicePoint struct {
 	vl   int
 }
 
-// arbitrate is the crossbar allocation pass: scan service points in
-// round-robin order and start every transmission whose credit and
-// link conditions hold, repeating until a full scan makes no progress.
+// arbitrate is the crossbar allocation pass, dispatching to the
+// configured arbiter: the wake-list drain (default) or the full
+// round-robin scan (-arb=scan, the differential oracle — also forced
+// whenever a tamper model is installed). Both produce byte-identical
+// results; see wake.go for the equivalence argument.
 func (sw *Switch) arbitrate() {
+	if sw.net.wake {
+		sw.arbitrateWake()
+		return
+	}
+	sw.arbitrateScan()
+}
+
+// arbitrateScan is the scanning crossbar allocation pass: probe
+// service points in round-robin order and start every transmission
+// whose credit and link conditions hold, repeating until a full scan
+// makes no progress.
+func (sw *Switch) arbitrateScan() {
 	points := sw.points
 	n := len(points)
 	if n == 0 {
@@ -585,8 +633,18 @@ func (sw *Switch) transmit(buf *vlBuffer, idx int, sp servicePoint, out ib.PortI
 // buildServicePoints enumerates the wired (port, VL) buffers; the
 // result is cached in sw.points at wiring time.
 func (sw *Switch) buildServicePoints() []servicePoint {
-	var pts []servicePoint
-	sw.bufs = sw.bufs[:0]
+	np := 0
+	for _, in := range sw.in {
+		if in != nil {
+			np += len(in.vls)
+		}
+	}
+	pts := make([]servicePoint, 0, np)
+	if cap(sw.bufs) < np {
+		sw.bufs = make([]*vlBuffer, 0, np)
+	} else {
+		sw.bufs = sw.bufs[:0]
+	}
 	for p, in := range sw.in {
 		if in == nil {
 			continue

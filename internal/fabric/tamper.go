@@ -42,6 +42,10 @@ type Tamper struct {
 func (n *Network) SetTamper(t Tamper) {
 	n.tamper = t
 	n.applyFuse()
+	// A tamper model also forces the scan arbiter: the wake arbiter's
+	// exactness argument (wake.go) only covers honest forwarding. The
+	// zero Tamper re-arms it (with a wholesale wake).
+	n.applyArb()
 }
 
 // TamperCredits forges flow-control state: it adds delta (possibly
@@ -62,6 +66,9 @@ func (n *Network) TamperCredits(s, neighbor, vl, delta int) error {
 	if vl < 0 || vl >= len(o.credits) {
 		return fmt.Errorf("fabric: vl %d out of range [0,%d)", vl, len(o.credits))
 	}
+	// Credits changed without the credit-return wake: the wait lists
+	// can no longer be trusted, so fall back to the scan arbiter.
+	n.forceScanArb()
 	o.credits[vl] += delta
 	return nil
 }
@@ -82,6 +89,7 @@ func (n *Network) TamperOccupancy(s, neighbor, vl, delta int) error {
 	if vl < 0 || vl >= len(in.vls) {
 		return fmt.Errorf("fabric: vl %d out of range [0,%d)", vl, len(in.vls))
 	}
+	n.forceScanArb()
 	in.vls[vl].occupied += delta
 	return nil
 }
@@ -92,6 +100,7 @@ func (n *Network) TamperOccupancy(s, neighbor, vl, delta int) error {
 // using the corrupted split; the credit-split well-formedness check
 // must flag it.
 func (n *Network) TamperSplit(cMax, cEscape int) {
+	n.forceScanArb()
 	n.Cfg.Split.CMax = cMax
 	n.Cfg.Split.CEscape = cEscape
 }
@@ -103,6 +112,7 @@ func (n *Network) TamperSplit(cMax, cEscape int) {
 // which is exactly the cyclic-dependency hazard Duato's condition
 // exists to exclude. Detected as escape-cdg-acyclic.
 func (n *Network) TamperSwapTableSlots() {
+	n.forceScanArb()
 	for _, sw := range n.Switches {
 		tab := sw.Table()
 		for h := 0; h < n.Topo.NumHosts(); h++ {

@@ -58,6 +58,11 @@ type entrySlab struct {
 	sl      []int32
 	flags   []uint8
 
+	// escVL caches the SLtoVL-resolved VL of the entry's escape
+	// option, set at arrival (and refreshed by Reroute) so the escape
+	// probes skip the vlOf multiply-and-index.
+	escVL []int8
+
 	free []int32
 }
 
@@ -84,6 +89,7 @@ func (s *entrySlab) grow() int32 {
 	s.credits = append(s.credits, make([]int32, entrySlabChunk)...)
 	s.sl = append(s.sl, make([]int32, entrySlabChunk)...)
 	s.flags = append(s.flags, make([]uint8, entrySlabChunk)...)
+	s.escVL = append(s.escVL, make([]int8, entrySlabChunk)...)
 	for id := base; id < base+entrySlabChunk; id++ {
 		s.chosen[id] = ib.InvalidPort
 	}
@@ -105,6 +111,7 @@ func (s *entrySlab) release(id int32) {
 	s.credits[id] = 0
 	s.sl[id] = 0
 	s.flags[id] = 0
+	s.escVL[id] = 0
 	s.free = append(s.free, id)
 }
 

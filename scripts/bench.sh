@@ -20,6 +20,12 @@
 #                        the single-traversal and end-to-end levels.
 #   BENCH_fusion.json  — the differential parsed, with fused/unfused
 #                        speedup columns.
+#   BENCH_arb.txt      — arbitration differential: the wake-list
+#                        arbiter (default) against the -arb=scan
+#                        round-robin rescan oracle, uncongested and
+#                        hot-spot congested, medians of >=3 counts.
+#   BENCH_arb.json     — the differential parsed, with wake speedup
+#                        columns per regime.
 #
 # The suite covers the three hot-path layers (table lookup, engine
 # push/pop, one switch traversal) plus the end-to-end Figure 3
@@ -137,6 +143,70 @@ awk '
   }
 ' "$fu_txt" > "$fu_json"
 
+# Arbitration differential. The wake-list arbiter and the scanning
+# oracle are bit-identical in results (the arbiter differential suite
+# enforces it), so the pair is purely a wall-clock measurement. Four
+# regimes: a single uncongested traversal (BenchmarkSwitchHop vs
+# BenchmarkSwitchHopScanArb), a contended 4-packet burst fighting for
+# one link (BenchmarkArbCongested/{wake,scan}), the end-to-end
+# Figure 3 panel (BenchmarkFigure3 vs BenchmarkFigure3ArbScan), and a
+# saturated hot-spot run (BenchmarkArbHotSpot/{wake,scan}) — the
+# congested regimes are where retiring the O(points^2) rescan pays.
+# Runs at a minimum of 3 counts and reports MEDIAN ns/op.
+arb_txt=BENCH_arb.txt
+arb_json=BENCH_arb.json
+
+arb_count="$count"
+[ "$arb_count" -lt 3 ] && arb_count=3
+
+{
+  go test -run '^$' -bench 'BenchmarkSwitchHop$|BenchmarkSwitchHopScanArb$|BenchmarkArbCongested' \
+    -benchmem -count "$arb_count" ./internal/fabric/
+  go test -run '^$' -bench 'BenchmarkFigure3$|BenchmarkFigure3ArbScan$|BenchmarkArbHotSpot' \
+    -benchmem -benchtime 3x -count "$arb_count" .
+} | tee "$arb_txt"
+
+awk '
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    cnt[name]++
+    samples[name, cnt[name]] = $3
+    b[name] = $5; al[name] = $7
+    if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+  }
+  function median(key,    m, i, j, tmp, vals) {
+    m = cnt[key]
+    for (i = 1; i <= m; i++) vals[i] = samples[key, i] + 0
+    for (i = 1; i <= m; i++)
+      for (j = i + 1; j <= m; j++)
+        if (vals[j] < vals[i]) { tmp = vals[i]; vals[i] = vals[j]; vals[j] = tmp }
+    if (m % 2) return vals[(m + 1) / 2]
+    return (vals[m / 2] + vals[m / 2 + 1]) / 2
+  }
+  function speedup(wake, scan,    mw, ms) {
+    mw = median(wake); ms = median(scan)
+    if (mw > 0 && ms > 0) return ms / mw
+    return 0
+  }
+  END {
+    printf "{\n"
+    printf "  \"metric\": \"median ns/op of %d counts\",\n", cnt[order[1]]
+    for (i = 1; i <= n; i++) {
+      k = order[i]
+      printf "  \"%s\": {\"ns_op\": %.0f, \"b_op\": %s, \"allocs_op\": %s},\n",
+        k, median(k), b[k], al[k]
+    }
+    printf "  \"wake_speedup\": {"
+    printf "\"switch_hop\": %.3f", speedup("BenchmarkSwitchHop", "BenchmarkSwitchHopScanArb")
+    printf ", \"congested_burst\": %.3f", speedup("BenchmarkArbCongested/wake", "BenchmarkArbCongested/scan")
+    printf ", \"figure3\": %.3f", speedup("BenchmarkFigure3", "BenchmarkFigure3ArbScan")
+    printf ", \"hot_spot\": %.3f", speedup("BenchmarkArbHotSpot/wake", "BenchmarkArbHotSpot/scan")
+    printf "}\n"
+    printf "}\n"
+  }
+' "$arb_txt" > "$arb_json"
+
 # Sharded-engine scaling sweep. BenchmarkFigure3Shards regenerates the
 # 64-switch Figure 3 panel sequentially, at 2/4/8 exact shards and at
 # the validated relaxed lag; results are bit-identical in exact mode
@@ -218,4 +288,4 @@ awk -v cores="$cores" '
   }
 ' "$sh_txt" > "$sh_json"
 
-echo "wrote $out_txt, $out_json, $eq_txt, $eq_json, $fu_txt, $fu_json, $sh_txt and $sh_json"
+echo "wrote $out_txt, $out_json, $eq_txt, $eq_json, $fu_txt, $fu_json, $arb_txt, $arb_json, $sh_txt and $sh_json"

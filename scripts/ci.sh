@@ -41,6 +41,20 @@ echo "==> hop-fusion differential (fused vs unfused bit-exact; trace/tamper de-f
 go test -count=1 -run 'TestFusion|TestTamperDefuses|TestDefuseIsSticky' -v ./internal/fabric/
 go test -count=1 -run 'TestFusion' -v ./internal/experiments/
 
+echo "==> determinism golden with the scan arbiter (rescan oracle reproduces the artifact)"
+go test -count=1 -run 'TestFigure3GoldenScanArb' -v ./internal/experiments/
+
+echo "==> wake-arbiter differential (wake vs scan bit-exact; tamper forces scan)"
+# The experiments matrix covers wheel geometries, both schedulers,
+# shard counts, fused/unfused engines, -check, a fault campaign and a
+# hot-spot contention storm; the fabric tests pin the runtime
+# arm/disarm transitions and the lockstep rr-parity property. The
+# ZeroAllocs gate above already holds both arbiters to 0 allocs/op
+# (TestSwitchHopZeroAllocsScanArb and the congested wake-path burst
+# TestArbWakeZeroAllocsCongested match its pattern).
+go test -count=1 -run 'TestArb' -v ./internal/fabric/
+GOMAXPROCS=4 go test -race -count=1 -run 'TestArb' -v ./internal/experiments/
+
 echo "==> mutation smoke (every seeded model break trips its named invariant)"
 go test -count=1 -run 'TestMutation' -v ./internal/check/
 
