@@ -89,6 +89,7 @@ func patString(ps experiments.PatternSpec) string {
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig3, table1, table2, motivation, faults, campaign, all")
+	topoFam := flag.String("topo", "irregular", "topology family for -exp fig3: irregular, fattree:K,N or torus:AxB[xC] (structured families use their native escape routing)")
 	scaleName := flag.String("scale", "quick", "preset: quick or full")
 	switches := flag.Int("switches", 16, "fig3: network size")
 	links := flag.Int("links", 4, "inter-switch links per switch")
@@ -126,8 +127,15 @@ func main() {
 
 	// Reject unsupported flag combinations before any work starts; the
 	// FeatureSet table is the single source of truth for what composes.
-	if err := (ibasim.FeatureSet{Engine: *engine, Shards: *shards, LagNs: *lag, Check: *check, Arb: *arb}).Validate(); err != nil {
+	if err := (ibasim.FeatureSet{Engine: *engine, Shards: *shards, LagNs: *lag, Check: *check, Arb: *arb, Topo: *topoFam}).Validate(); err != nil {
 		fail(err)
+	}
+	fam, err := experiments.ParseFamily(*topoFam)
+	if err != nil {
+		fail(err)
+	}
+	if !fam.Irregular() && *exp != "fig3" {
+		fail(fmt.Errorf("-topo %s only supports -exp fig3 (the family sweep); table1/table2/faults run on the irregular corpus", fam))
 	}
 
 	stopProf, err := pcfg.Start()
@@ -308,7 +316,13 @@ func main() {
 	}
 
 	runFig3 := func(size int) {
-		res, err := experiments.Figure3(sc, size)
+		var res *experiments.Figure3Result
+		var err error
+		if fam.Irregular() {
+			res, err = experiments.Figure3(sc, size)
+		} else {
+			res, err = experiments.Figure3Family(sc, fam)
+		}
 		if err != nil {
 			fail(err)
 		}

@@ -26,7 +26,8 @@ import (
 
 func main() {
 	cfg := ibasim.DefaultConfig()
-	flag.IntVar(&cfg.Switches, "switches", cfg.Switches, "number of switches")
+	flag.StringVar(&cfg.Topology, "topo", "irregular", "topology family: irregular, fattree:K,N or torus:AxB[xC] (structured families bring their own routing engine)")
+	flag.IntVar(&cfg.Switches, "switches", cfg.Switches, "number of switches (irregular family)")
 	flag.IntVar(&cfg.HostsPerSwitch, "hosts", cfg.HostsPerSwitch, "hosts per switch")
 	flag.IntVar(&cfg.LinksPerSwitch, "links", cfg.LinksPerSwitch, "inter-switch links per switch (4 or 6 in the paper)")
 	flag.Uint64Var(&cfg.TopologySeed, "topo-seed", cfg.TopologySeed, "topology generation seed")
@@ -60,7 +61,7 @@ func main() {
 
 	// Reject unsupported flag combinations before any work starts; the
 	// FeatureSet table is the single source of truth for what composes.
-	features := ibasim.FeatureSet{Engine: cfg.Engine, Shards: cfg.Shards, LagNs: cfg.LagNs, PacketTrace: *traceN > 0, Check: cfg.Check, Arb: cfg.Arb}
+	features := ibasim.FeatureSet{Engine: cfg.Engine, Shards: cfg.Shards, LagNs: cfg.LagNs, PacketTrace: *traceN > 0, Check: cfg.Check, Arb: cfg.Arb, Topo: cfg.Topology}
 	if err := features.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "ibsim:", err)
 		os.Exit(1)
@@ -111,8 +112,12 @@ func main() {
 	if *plain {
 		mode = "stock (deterministic)"
 	}
-	fmt.Printf("switches:        %d (%d links/switch, %d hosts/switch)\n",
-		cfg.Switches, cfg.LinksPerSwitch, cfg.HostsPerSwitch)
+	if cfg.Topology != "" && cfg.Topology != "irregular" {
+		fmt.Printf("topology:        %s\n", cfg.Topology)
+	} else {
+		fmt.Printf("switches:        %d (%d links/switch, %d hosts/switch)\n",
+			cfg.Switches, cfg.LinksPerSwitch, cfg.HostsPerSwitch)
+	}
 	fmt.Printf("switch mode:     %s, MR=%d\n", mode, cfg.RoutingOptions)
 	fmt.Printf("workload:        %s, %d B packets, %.0f%% adaptive\n",
 		cfg.Pattern, cfg.PacketSize, cfg.AdaptiveFraction*100)

@@ -54,6 +54,95 @@ func TestDotOutput(t *testing.T) {
 	}
 }
 
+// fatTreeReportGolden pins the structured-family report: the D-mod-K
+// fat-tree engine is minimal (0.0% inflation, by construction) and the
+// option census reflects the tree's up-path multiplicity.
+const fatTreeReportGolden = `topology:          fattree:2,3, 12 switches, 8 hosts
+links:             16
+diameter:          4
+avg distance:      2.303
+routing engine:    fattree escape (minimal)
+avg path length:   2.364 table vs 2.364 shortest (inflation 0.0%)
+escape CDG:        acyclic (deadlock-free)
+routing options (cap 4), share of switch/destination pairs:
+  1 option(s):  54.55%
+  2 option(s):  45.45%
+  3 option(s):   0.00%
+  4 option(s):   0.00%
+`
+
+// torusReportGolden pins the torus report: dimension-order escape
+// refuses wrap links, so the table is longer than the wrapped shortest
+// path (the 33.3% inflation is the price of an acyclic escape CDG
+// without extra virtual channels).
+const torusReportGolden = `topology:          torus:3x3, 9 switches, 18 hosts
+links:             18
+diameter:          2
+avg distance:      1.500
+routing engine:    torus escape
+avg path length:   2.000 table vs 1.500 shortest (inflation 33.3%)
+escape CDG:        acyclic (deadlock-free)
+routing options (cap 4), share of switch/destination pairs:
+  1 option(s):  50.00%
+  2 option(s):  50.00%
+  3 option(s):   0.00%
+  4 option(s):   0.00%
+`
+
+func TestFamilyReportGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		golden string
+	}{
+		{"fattree", []string{"-topo", "fattree:2,3"}, fatTreeReportGolden},
+		{"torus", []string{"-topo", "torus:3x3", "-hosts", "2"}, torusReportGolden},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+			}
+			if got := stdout.String(); got != tc.golden {
+				t.Fatalf("report drifted:\n--- got ---\n%s--- want ---\n%s", got, tc.golden)
+			}
+		})
+	}
+}
+
+// TestFamilyDotOutput: structured families label DOT nodes with their
+// family-aware names (torus coordinates, fat-tree level.digits) so the
+// rendered graph is legible; irregular output keeps the bare s<N> form
+// (pinned by TestDotOutput above).
+func TestFamilyDotOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-topo", "torus:2x3", "-dot"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.HasPrefix(out, "graph subnet {\n") || !strings.HasSuffix(out, "}\n") {
+		t.Fatalf("not a DOT graph:\n%s", out)
+	}
+	// 2x3 torus: 3 + 2*3 = 9 edges (the size-2 dimension has single links).
+	if edges := strings.Count(out, " -- "); edges != 9 {
+		t.Fatalf("%d edges in DOT output, want 9", edges)
+	}
+	if !strings.Contains(out, `"(0,0)" -- "(1,0)";`) {
+		t.Fatalf("DOT output lacks coordinate-labelled edges:\n%s", out)
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-topo", "fattree:2,2", "-dot"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), `"L0.0" -- "L1.0";`) {
+		t.Fatalf("fat-tree DOT output lacks level-labelled edges:\n%s", stdout.String())
+	}
+}
+
 // TestBadInputsFailLoudly: every invalid invocation must exit
 // non-zero with a diagnostic on stderr and nothing on stdout.
 func TestBadInputsFailLoudly(t *testing.T) {

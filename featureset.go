@@ -1,6 +1,10 @@
 package ibasim
 
-import "fmt"
+import (
+	"fmt"
+
+	"ibasim/internal/experiments"
+)
 
 // FeatureSet names the cross-cutting run features whose combinations
 // are constrained: the execution engine, its shard count, packet
@@ -17,6 +21,13 @@ type FeatureSet struct {
 	Check       bool   // -check: heavy invariant scans (compatible with everything)
 	Campaign    bool   // run executes inside an ibcamp campaign worker
 	Arb         string // -arb: "", "wake" or "scan" crossbar arbiter
+	Topo        string // -topo: "", "irregular", "fattree:K,N" or "torus:AxB[xC]"
+
+	// SourceMultipath mirrors Config.SourceMultipath: >1 selects the
+	// source-selected multipath baseline, which programs alternative
+	// up*/down* tie-break variants and therefore only exists on the
+	// irregular family.
+	SourceMultipath int
 }
 
 // featureRule is one row of the compatibility table: a combination
@@ -110,6 +121,36 @@ var featureRules = []featureRule{
 			return fmt.Errorf("ibasim: unknown arbiter %q (want wake or scan)", f.Arb)
 		},
 	},
+	{
+		// The -topo grammar is the single source of truth for family
+		// selection; a typo'd family must fail here, not deep inside a
+		// generator with a shape error.
+		name: "topo-known",
+		applies: func(f FeatureSet) bool {
+			_, err := experiments.ParseFamily(f.Topo)
+			return err != nil
+		},
+		err: func(f FeatureSet) error {
+			_, err := experiments.ParseFamily(f.Topo)
+			return err
+		},
+	},
+	{
+		// Source multipath programs k up*/down* tie-break variants of
+		// one link orientation; the structured families' escape routings
+		// have no such variant notion, so the baseline is irregular-only.
+		name: "multipath-requires-irregular",
+		applies: func(f FeatureSet) bool {
+			if f.SourceMultipath <= 1 {
+				return false
+			}
+			fam, err := experiments.ParseFamily(f.Topo)
+			return err == nil && !fam.Irregular()
+		},
+		err: func(f FeatureSet) error {
+			return fmt.Errorf("ibasim: source multipath requires the irregular family, not -topo %s", f.Topo)
+		},
+	},
 }
 
 // Validate applies the compatibility table and returns the first
@@ -126,5 +167,8 @@ func (f FeatureSet) Validate() error {
 // features assembles the Config's feature selection; packetTrace is
 // supplied by the entry point (SimulateTraced) rather than the Config.
 func (c Config) features(packetTrace bool) FeatureSet {
-	return FeatureSet{Engine: c.Engine, Shards: c.Shards, LagNs: c.LagNs, PacketTrace: packetTrace, Check: c.Check, Arb: c.Arb}
+	return FeatureSet{
+		Engine: c.Engine, Shards: c.Shards, LagNs: c.LagNs, PacketTrace: packetTrace,
+		Check: c.Check, Arb: c.Arb, Topo: c.Topology, SourceMultipath: c.SourceMultipath,
+	}
 }

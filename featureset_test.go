@@ -61,6 +61,24 @@ func TestFeatureSetTable(t *testing.T) {
 		{"arb-unknown-with-check", FeatureSet{Arb: "ticket", Check: true}, `unknown arbiter "ticket"`},
 		{"arb-unknown-loses-to-engine", FeatureSet{Engine: "warp", Arb: "ticket"}, `unknown engine "warp"`},
 		{"arb-unknown-loses-to-trace", FeatureSet{Engine: "shard", PacketTrace: true, Arb: "ticket"}, "packet tracing requires the sequential engine"},
+
+		// Topology families compose with every engine and with Check;
+		// conflicts are a malformed grammar or the irregular-only
+		// source-multipath baseline on a structured family.
+		{"topo-empty", FeatureSet{Topo: ""}, ""},
+		{"topo-irregular", FeatureSet{Topo: "irregular"}, ""},
+		{"topo-fattree", FeatureSet{Topo: "fattree:2,3"}, ""},
+		{"topo-torus", FeatureSet{Topo: "torus:4x4"}, ""},
+		{"topo-torus-3d-shard", FeatureSet{Engine: "shard", Shards: 4, Topo: "torus:2x3x4"}, ""},
+		{"topo-fattree-check", FeatureSet{Topo: "fattree:2,2", Check: true}, ""},
+		{"topo-unknown", FeatureSet{Topo: "hypercube:4"}, "unknown topology family"},
+		{"topo-bad-shape", FeatureSet{Topo: "fattree:2"}, "bad fat-tree shape"},
+		{"topo-degenerate", FeatureSet{Topo: "torus:1x4"}, "dimension 1 < 2"},
+		{"topo-unknown-loses-to-engine", FeatureSet{Engine: "warp", Topo: "hypercube:4"}, `unknown engine "warp"`},
+		{"multipath-irregular", FeatureSet{Topo: "irregular", SourceMultipath: 2}, ""},
+		{"multipath-default-topo", FeatureSet{SourceMultipath: 3}, ""},
+		{"multipath-fattree", FeatureSet{Topo: "fattree:2,3", SourceMultipath: 2}, "source multipath requires the irregular family"},
+		{"multipath-torus", FeatureSet{Topo: "torus:4x4", SourceMultipath: 2}, "source multipath requires the irregular family"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

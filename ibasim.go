@@ -32,7 +32,16 @@ func simTime(ns int64) sim.Time { return sim.Time(ns) }
 // Config describes one simulation: topology shape, routing setup and
 // workload. Zero values are invalid; start from DefaultConfig.
 type Config struct {
-	// Topology: a connected random irregular network with
+	// Topology selects the topology family in the -topo grammar:
+	// "" or "irregular" (the paper's random irregular networks, shaped
+	// by the fields below), "fattree:K,N" (k-ary n-tree with D-mod-K
+	// escape routing; hosts attach to the leaf row only), or
+	// "torus:AxB[xC]" (2D/3D torus with dimension-order escape routing;
+	// HostsPerSwitch applies). Structured families ignore Switches,
+	// LinksPerSwitch and TopologySeed — their shape is the spec.
+	Topology string
+
+	// Irregular shape: a connected random irregular network with
 	// LinksPerSwitch inter-switch links per switch (the paper uses 4
 	// or 6) and HostsPerSwitch end nodes per switch (the paper uses
 	// 4). TopologySeed makes the topology reproducible.
@@ -294,11 +303,15 @@ func (c Config) spec() (experiments.RunSpec, error) {
 	if err := c.features(false).Validate(); err != nil {
 		return experiments.RunSpec{}, err
 	}
-	if c.Switches < 2 || c.HostsPerSwitch < 1 || c.LinksPerSwitch < 1 {
+	fam, err := experiments.ParseFamily(c.Topology)
+	if err != nil {
+		return experiments.RunSpec{}, err
+	}
+	if fam.Irregular() && (c.Switches < 2 || c.HostsPerSwitch < 1 || c.LinksPerSwitch < 1) {
 		return experiments.RunSpec{}, fmt.Errorf("ibasim: invalid topology shape %d/%d/%d",
 			c.Switches, c.HostsPerSwitch, c.LinksPerSwitch)
 	}
-	topo, err := topology.GenerateIrregular(topology.IrregularSpec{
+	topo, err := fam.Topology(topology.IrregularSpec{
 		NumSwitches:    c.Switches,
 		HostsPerSwitch: c.HostsPerSwitch,
 		InterSwitch:    c.LinksPerSwitch,
@@ -322,6 +335,7 @@ func (c Config) spec() (experiments.RunSpec, error) {
 		mr = c.SourceMultipath // the LID block must hold every path
 	}
 	spec := sc.Spec(topo, mr, c.PacketSize, c.AdaptiveFraction, pattern, c.Seed, c.AdaptiveSwitches)
+	spec.Routing = fam.Routing()
 	spec.MR = c.RoutingOptions
 	spec.SourceMultipath = c.SourceMultipath
 	spec.Fabric.SourceMultipath = c.SourceMultipath

@@ -65,6 +65,46 @@ func TestMetamorphicLMCInvariance(t *testing.T) {
 	}
 }
 
+// TestMetamorphicLMCInvarianceFamilies: the LMC-widening relabeling
+// argument is family-independent — D-mod-K fat-tree and
+// dimension-order torus escape routings program the same options into
+// the wider LID blocks, so their observables must be bit-identical
+// too. This closes the loop on the structured families through the
+// same seam the irregular test uses.
+func TestMetamorphicLMCInvarianceFamilies(t *testing.T) {
+	sc := metaScale()
+	for _, name := range []string{"fattree:2,3", "torus:3x3"} {
+		t.Run(name, func(t *testing.T) {
+			fam, err := experiments.ParseFamily(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			topo, err := fam.Topology(topology.IrregularSpec{HostsPerSwitch: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pattern := traffic.Uniform{NumHosts: topo.NumHosts()}
+			base := sc.Spec(topo, 2, 32, 0.75, pattern, 9, true)
+			base.Routing = fam.Routing()
+			base.Traffic.LoadBytesPerNsPerHost = 0.05
+			wide := base
+			wide.LMC = 2
+
+			resBase, err := experiments.Run(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resWide, err := experiments.Run(wide)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(resBase, resWide) {
+				t.Fatalf("LMC widening changed observables on %s:\nLMC1: %+v\nLMC2: %+v", name, resBase, resWide)
+			}
+		})
+	}
+}
+
 // TestMetamorphicMRWideningThroughput: at a saturating load, raising
 // MR (more adaptive options per destination) must not reduce accepted
 // traffic — the paper's central claim, Figure 3/Table 1. MR 1 is the

@@ -18,7 +18,11 @@ type Figure3Series struct {
 // Figure3Result reproduces one panel (one network size) of Figure 3.
 type Figure3Result struct {
 	Switches int
-	Series   []Figure3Series
+	// Family names the structured topology family of a Figure3Family
+	// panel ("fattree:2,3", "torus:4x4"); empty for the paper's
+	// irregular panels, whose output stays byte-identical.
+	Family string
+	Series []Figure3Series
 }
 
 // Figure3Fractions are the paper's adaptive-traffic percentages.
@@ -60,7 +64,11 @@ func Figure3(sc Scale, switches int) (*Figure3Result, error) {
 // adaptive fraction with the paper's axes (accepted bytes/ns/switch,
 // latency ns).
 func (r *Figure3Result) Write(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "# Figure 3: %d switches, uniform, 32B, 2 routing options\n", r.Switches); err != nil {
+	header := fmt.Sprintf("# Figure 3: %d switches, uniform, 32B, 2 routing options\n", r.Switches)
+	if r.Family != "" {
+		header = fmt.Sprintf("# Figure 3 (%s): %d switches, uniform, 32B, 2 routing options\n", r.Family, r.Switches)
+	}
+	if _, err := io.WriteString(w, header); err != nil {
 		return err
 	}
 	for _, s := range r.Series {

@@ -15,6 +15,7 @@ import (
 	"ibasim/internal/ib"
 	"ibasim/internal/metrics"
 	"ibasim/internal/reorder"
+	"ibasim/internal/routing"
 	"ibasim/internal/sim"
 	"ibasim/internal/subnet"
 	"ibasim/internal/topology"
@@ -33,6 +34,11 @@ type RunSpec struct {
 	// multipath baseline with this many alternative deterministic
 	// paths (plain switches; Fabric.SourceMultipath must match).
 	SourceMultipath int
+
+	// Routing selects the routing-engine family the subnet manager
+	// builds tables from (fat-tree D-mod-K, torus dimension-order).
+	// nil keeps the up*/down* default — the paper's configuration.
+	Routing routing.Builder
 
 	Fabric  fabric.Config
 	Traffic traffic.Config
@@ -190,6 +196,7 @@ func RunObserved(spec RunSpec, observe func(*fabric.Network)) (RunResult, error)
 		MaxRoutingOptions: spec.MR,
 		Root:              -1,
 		SourceMultipath:   spec.SourceMultipath,
+		Engine:            spec.Routing,
 	}
 	if _, err := subnet.Configure(net, ropts); err != nil {
 		return RunResult{}, err
@@ -227,7 +234,7 @@ func RunObserved(spec RunSpec, observe func(*fabric.Network)) (RunResult, error)
 	}
 	col.Finalize()
 	res := RunResult{
-		OfferedPerSwitch:   spec.Traffic.OfferedPerSwitch(spec.Topo.HostsPerSwitch),
+		OfferedPerSwitch:   spec.Traffic.OfferedPerSwitchAvg(float64(spec.Topo.NumHosts()) / float64(spec.Topo.NumSwitches)),
 		AcceptedPerSwitch:  col.AcceptedPerSwitch(),
 		AvgLatencyNs:       col.Latency.Avg(),
 		P99LatencyNs:       float64(col.Hist.Quantile(0.99)),

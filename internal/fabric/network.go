@@ -316,11 +316,12 @@ func NewNetwork(topo *topology.Topology, plan *ib.AddressPlan, cfg Config, seed 
 		net.Hosts = append(net.Hosts, &Host{net: net, ctx: net.ctl, id: h, nextSeq: make([]uint64, topo.NumHosts())})
 	}
 
-	// Wire host links: host h occupies port (h mod HostsPerSwitch) of
-	// its switch.
+	// Wire host links: host h occupies its switch's host-port slot
+	// (ports 0..HostCount-1 face hosts; uniform attachment reduces to
+	// port h mod HostsPerSwitch).
 	for h, host := range net.Hosts {
 		sw := net.Switches[topo.HostSwitch(h)]
-		port := ib.PortID(h % topo.HostsPerSwitch)
+		port := ib.PortID(topo.HostPortIndex(h))
 		host.out = &outPort{
 			owner:      host,
 			id:         0,
@@ -342,12 +343,12 @@ func NewNetwork(topo *topology.Topology, plan *ib.AddressPlan, cfg Config, seed 
 		}
 	}
 
-	// Wire inter-switch links: switch s uses ports HostsPerSwitch..,
-	// one per neighbour in ascending neighbour order.
+	// Wire inter-switch links: switch s uses the ports after its host
+	// ports, one per neighbour in ascending neighbour order.
 	portOf := func(s, neighbor int) (ib.PortID, error) {
 		for i, n := range topo.Neighbors(s) {
 			if n == neighbor {
-				return ib.PortID(topo.HostsPerSwitch + i), nil
+				return ib.PortID(topo.InterSwitchPortBase(s) + i), nil
 			}
 		}
 		return 0, fmt.Errorf("fabric: %d not adjacent to %d", neighbor, s)
@@ -475,7 +476,7 @@ func (n *Network) NewPacket(src, dst, size int, adaptive bool) *ib.Packet {
 func (n *Network) PortToNeighbor(s, neighbor int) (ib.PortID, error) {
 	for i, m := range n.Topo.Neighbors(s) {
 		if m == neighbor {
-			return ib.PortID(n.Topo.HostsPerSwitch + i), nil
+			return ib.PortID(n.Topo.InterSwitchPortBase(s) + i), nil
 		}
 	}
 	return 0, fmt.Errorf("fabric: switch %d not adjacent to %d", neighbor, s)
@@ -483,7 +484,7 @@ func (n *Network) PortToNeighbor(s, neighbor int) (ib.PortID, error) {
 
 // HostPort returns the port of the host's switch that faces the host.
 func (n *Network) HostPort(host int) ib.PortID {
-	return ib.PortID(host % n.Topo.HostsPerSwitch)
+	return ib.PortID(n.Topo.HostPortIndex(host))
 }
 
 // InFlight counts packets buffered in switches or source queues —

@@ -25,17 +25,20 @@ type FA struct {
 	Adaptive [][][]int
 }
 
-// NewFA computes the FA routing function on top of an up*/down*
-// deterministic routing.
+// NewFA computes the FA routing function on top of a deterministic
+// escape routing (up*/down*, D-mod-K, dimension-order, ...). Adaptive
+// options are the minimal next hops of the full topology regardless of
+// family; only host-bearing destinations get option sets, matching the
+// escape tables.
 func NewFA(det *Deterministic) *FA {
-	t := det.UD.Topo
+	t := det.Topo
 	n := t.NumSwitches
 	dists := t.AllDistances()
 	adaptive := make([][][]int, n)
 	for s := 0; s < n; s++ {
 		adaptive[s] = make([][]int, n)
 		for d := 0; d < n; d++ {
-			if s == d {
+			if s == d || !det.Routes(d) {
 				continue
 			}
 			var opts []int
@@ -67,11 +70,11 @@ func (f *FA) Options(s, d, maxOptions int) []int {
 // Validate checks FA invariants for every pair: adaptive options are
 // exactly the minimal next hops, and the escape hop exists.
 func (f *FA) Validate() error {
-	t := f.Det.UD.Topo
+	t := f.Det.Topo
 	dists := t.AllDistances()
 	for s := 0; s < t.NumSwitches; s++ {
 		for d := 0; d < t.NumSwitches; d++ {
-			if s == d {
+			if s == d || !f.Det.Routes(d) {
 				continue
 			}
 			if f.Escape(s, d) < 0 {
@@ -98,10 +101,10 @@ func (f *FA) Validate() error {
 // MR); internal/experiments formats it into the table's rows.
 func (f *FA) OptionsHistogram(cap int) []int {
 	hist := make([]int, cap+1) // hist[k] = pairs with k options
-	t := f.Det.UD.Topo
+	t := f.Det.Topo
 	for s := 0; s < t.NumSwitches; s++ {
 		for d := 0; d < t.NumSwitches; d++ {
-			if s == d {
+			if s == d || !f.Det.Routes(d) {
 				continue
 			}
 			k := len(f.Adaptive[s][d])

@@ -64,13 +64,20 @@ func CDGFromNextHops(numSwitches, numDests int, next func(s, d int) (int, bool))
 
 // EscapeCDG builds the dependency adjacency of the escape network:
 // dep[c1] lists the channels some packet can request while holding c1.
+// Destinations are the host-bearing switches — the only switches
+// forwarding tables hold routes to (families like the fat-tree leave
+// host-less spine switches without destination entries).
 func EscapeCDG(det *Deterministic) map[int][]int {
-	n := det.UD.Topo.NumSwitches
+	n := det.Topo.NumSwitches
 	return CDGFromNextHops(n, n, func(s, d int) (int, bool) {
-		if s == d {
+		if s == d || !det.Routes(d) {
 			return 0, false
 		}
-		return det.NextHop[s][d], true
+		hop := det.NextHop[s][d]
+		if hop < 0 {
+			return 0, false
+		}
+		return hop, true
 	})
 }
 
@@ -148,15 +155,27 @@ func VerifyDeadlockFreeAll(dets []*Deterministic) error {
 	if cycle == nil {
 		return nil
 	}
-	return fmt.Errorf("routing: escape CDG cycle:%s", FormatCycle(cycle, dets[0].UD.Topo.NumSwitches))
+	topo := dets[0].Topo
+	return fmt.Errorf("routing: escape CDG cycle:%s", FormatCycleNamed(cycle, topo.NumSwitches, topo.NodeName))
 }
 
 // FormatCycle renders a FindCycle result over ChannelID-encoded
 // channels as " (a->b) (b->c) ..." for diagnostics.
 func FormatCycle(cycle []int, n int) string {
+	return FormatCycleNamed(cycle, n, nil)
+}
+
+// FormatCycleNamed renders a cycle with family-aware channel labels:
+// name maps a switch ID to its display label (tree level/position,
+// torus coordinates — topology.Topology.NodeName). A nil name falls
+// back to bare switch IDs.
+func FormatCycleNamed(cycle []int, n int, name func(int) string) string {
+	if name == nil {
+		name = func(s int) string { return fmt.Sprintf("%d", s) }
+	}
 	out := ""
 	for _, c := range cycle {
-		out += fmt.Sprintf(" (%d->%d)", c/n, c%n)
+		out += fmt.Sprintf(" (%s->%s)", name(c/n), name(c%n))
 	}
 	return out
 }

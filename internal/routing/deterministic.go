@@ -1,25 +1,42 @@
 package routing
 
-import "fmt"
+import (
+	"fmt"
 
-// Deterministic is the destination-indexed up*/down* routing function:
-// the escape/deterministic routing the paper stores at the first LID
-// of each destination's address range.
+	"ibasim/internal/topology"
+)
+
+// Deterministic is a destination-indexed deterministic routing
+// function: the escape routing a family's Engine stores at the first
+// LID of each destination's address range. The up*/down* family fills
+// UD; structured families (fat-tree, torus) leave it nil and rely on
+// their own construction argument plus the mechanical CDG check.
 type Deterministic struct {
+	Topo *topology.Topology
+	// UD is the up*/down* structure behind the tables, when the escape
+	// routing is up*/down*; nil for other families.
 	UD *UpDown
 	// NextHop[s][d] is the neighbour switch s forwards to for
-	// destination switch d (-1 when s == d).
+	// destination switch d (-1 when s == d, or when d carries no hosts
+	// and the family computes no route to it).
 	NextHop [][]int
 	// PathLen[s][d] is the hop count of the table path from s to d.
 	PathLen [][]int
 }
+
+// Routes reports whether the tables route traffic toward destination
+// switch d: families only compute routes to host-bearing switches
+// (forwarding tables are indexed by destination LIDs, and only hosts
+// have LIDs), so pairs with a host-less d are skipped by validation
+// and CDG construction.
+func (r *Deterministic) Routes(d int) bool { return r.Topo.HostCount(d) > 0 }
 
 // Path returns the switch sequence from src to dst following the
 // tables, including both endpoints. It errors if the tables do not
 // converge within NumSwitches hops (which would indicate a routing
 // loop and is asserted against in tests).
 func (r *Deterministic) Path(src, dst int) ([]int, error) {
-	n := r.UD.Topo.NumSwitches
+	n := r.Topo.NumSwitches
 	path := []int{src}
 	cur := src
 	for cur != dst {
@@ -38,7 +55,7 @@ func (r *Deterministic) Path(src, dst int) ([]int, error) {
 
 // Legal reports whether the switch sequence is a legal up*/down* path:
 // zero or more up moves followed by zero or more down moves, with no
-// up move after a down move.
+// up move after a down move. Only meaningful when UD is set.
 func (r *Deterministic) Legal(path []int) bool {
 	goneDown := false
 	for i := 0; i+1 < len(path); i++ {
@@ -53,20 +70,21 @@ func (r *Deterministic) Legal(path []int) bool {
 	return true
 }
 
-// Validate checks every source/destination pair: the table path
-// exists, is loop-free, and is legal up*/down*.
+// Validate checks every source/destination pair the family routes:
+// the table path exists, is loop-free, matches PathLen, and — for
+// up*/down* tables — is legal up*/down*.
 func (r *Deterministic) Validate() error {
-	n := r.UD.Topo.NumSwitches
+	n := r.Topo.NumSwitches
 	for s := 0; s < n; s++ {
 		for d := 0; d < n; d++ {
-			if s == d {
+			if s == d || !r.Routes(d) {
 				continue
 			}
 			p, err := r.Path(s, d)
 			if err != nil {
 				return err
 			}
-			if !r.Legal(p) {
+			if r.UD != nil && !r.Legal(p) {
 				return fmt.Errorf("routing: illegal up*/down* path %v", p)
 			}
 			if len(p)-1 != r.PathLen[s][d] {
@@ -78,17 +96,17 @@ func (r *Deterministic) Validate() error {
 	return nil
 }
 
-// AvgPathLength returns the mean table-path length over ordered pairs
-// and the mean shortest-path length, exposing how non-minimal
-// up*/down* is on this topology (the effect the paper attributes the
-// FA gains to).
+// AvgPathLength returns the mean table-path length over routed ordered
+// pairs and the mean shortest-path length, exposing how non-minimal
+// the escape routing is on this topology (the effect the paper
+// attributes the FA gains to).
 func (r *Deterministic) AvgPathLength() (table, shortest float64) {
-	n := r.UD.Topo.NumSwitches
-	dists := r.UD.Topo.AllDistances()
+	n := r.Topo.NumSwitches
+	dists := r.Topo.AllDistances()
 	var tSum, sSum, count int
 	for s := 0; s < n; s++ {
 		for d := 0; d < n; d++ {
-			if s == d {
+			if s == d || !r.Routes(d) {
 				continue
 			}
 			tSum += r.PathLen[s][d]

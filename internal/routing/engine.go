@@ -1,0 +1,82 @@
+package routing
+
+import "ibasim/internal/topology"
+
+// Engine is the pluggable routing-function family contract: everything
+// the subnet manager needs to program forwarding tables and everything
+// the analysis/verification layers need to reason about the result.
+// One Engine instance is built per configured topology; all methods are
+// read-only after construction.
+//
+// The contract (also documented in DESIGN.md):
+//
+//   - Deterministic() is the escape routing: destination-indexed next
+//     hops stored at the first LID of every destination's address
+//     range. Its escape CDG must be acyclic (Verify enforces it); by
+//     Duato's theory that alone makes the full adaptive function
+//     deadlock-free, no matter how cyclic the adaptive options are.
+//   - Adaptive() supplies the minimal adaptive option sets programmed
+//     into the remaining LID slots.
+//   - SL(src, dst) is the service level packets between the two hosts
+//     travel at. Every current family returns 0 (the whole fabric runs
+//     on one data VL); the seam exists so VL-partitioned schemes can
+//     plug in without touching the subnet manager.
+//   - MinimalEscape() reports whether the family guarantees its escape
+//     paths are minimal (fat-tree D-mod-K: yes; up*/down* and
+//     mesh-restricted torus DOR: no). The conformance suite keys the
+//     minimality assertions off it.
+//   - Verify() runs the family's deadlock-freedom check — for every
+//     current family the mechanical escape-CDG acyclicity test.
+type Engine interface {
+	// Name tags the family for reports ("updown", "fattree", "torus").
+	Name() string
+	Deterministic() *Deterministic
+	Adaptive() *FA
+	SL(src, dst int) int
+	MinimalEscape() bool
+	Verify() error
+}
+
+// Builder constructs a family's Engine for one discovered topology.
+// The subnet manager calls it at configuration time and again after
+// every reconfiguration; builders for structured families detect a
+// degraded fabric (failed links) and fall back to up*/down* on the
+// surviving graph, which is how fault campaigns run unchanged on every
+// family.
+type Builder func(t *topology.Topology) (Engine, error)
+
+// engine is the shared Engine implementation: all current families are
+// fully described by their tables, option sets, and minimality flag.
+type engine struct {
+	name    string
+	det     *Deterministic
+	fa      *FA
+	minimal bool
+}
+
+func (e *engine) Name() string                 { return e.name }
+func (e *engine) Deterministic() *Deterministic { return e.det }
+func (e *engine) Adaptive() *FA                { return e.fa }
+func (e *engine) SL(src, dst int) int          { return 0 }
+func (e *engine) MinimalEscape() bool          { return e.minimal }
+func (e *engine) Verify() error                { return VerifyDeadlockFree(e.det) }
+
+// UpDownBuilder returns the up*/down* family builder — the escape
+// routing of the paper's irregular-network evaluation. root >= 0 forces
+// the spanning-tree root; -1 selects the default highest-degree root.
+func UpDownBuilder(root int) Builder {
+	return func(t *topology.Topology) (Engine, error) {
+		var ud *UpDown
+		var err error
+		if root >= 0 {
+			ud, err = NewUpDownRooted(t, root)
+		} else {
+			ud, err = NewUpDown(t)
+		}
+		if err != nil {
+			return nil, err
+		}
+		det := ud.Tables()
+		return &engine{name: "updown", det: det, fa: NewFA(det)}, nil
+	}
+}

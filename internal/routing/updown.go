@@ -130,7 +130,7 @@ func (u *UpDown) TablesVariant(variant int) *Deterministic {
 			dist[s][d] = dd[s]
 		}
 	}
-	return &Deterministic{UD: u, NextHop: next, PathLen: dist}
+	return &Deterministic{Topo: u.Topo, UD: u, NextHop: next, PathLen: dist}
 }
 
 // rotated returns s's neighbours rotated by the variant, the

@@ -13,6 +13,7 @@ import (
 	"ibasim/internal/fabric"
 	"ibasim/internal/ib"
 	"ibasim/internal/routing"
+	"ibasim/internal/topology"
 )
 
 // Options configures table computation.
@@ -26,6 +27,14 @@ type Options struct {
 	// Root forces the up*/down* root switch; -1 selects the default
 	// (highest-degree) root.
 	Root int
+
+	// Engine selects the routing family builder (fat-tree D-mod-K,
+	// torus dimension-order, ...). nil means up*/down* rooted per Root —
+	// the paper's irregular-network configuration. Reconfiguration
+	// passes the surviving topology back through the same builder;
+	// structured-family builders detect the broken structure and fall
+	// back to up*/down* on their own.
+	Engine routing.Builder
 
 	// SourceMultipath programs this many alternative deterministic
 	// up*/down* routings into each destination's LID block instead of
@@ -56,23 +65,17 @@ func DefaultOptions() Options { return Options{MaxRoutingOptions: 2, Root: -1} }
 // every slot of a block stores the escape port, exactly what §4.2
 // prescribes for mixing deterministic-only switches into the subnet.
 func Configure(net *fabric.Network, opts Options) (*routing.FA, error) {
-	var ud *routing.UpDown
-	var err error
-	if opts.Root >= 0 {
-		ud, err = routing.NewUpDownRooted(net.Topo, opts.Root)
-	} else {
-		ud, err = routing.NewUpDown(net.Topo)
-	}
+	eng, err := buildEngine(net.Topo, opts)
 	if err != nil {
 		return nil, err
 	}
-	det := ud.Tables()
-	if err := routing.VerifyDeadlockFree(det); err != nil {
-		return nil, err
-	}
-	fa := routing.NewFA(det)
+	fa := eng.Adaptive()
 
 	if opts.SourceMultipath > 1 {
+		ud := eng.Deterministic().UD
+		if ud == nil {
+			return nil, fmt.Errorf("subnet: source multipath needs up*/down* variants, not the %s engine", eng.Name())
+		}
 		if err := configureMultipath(net, ud, opts.SourceMultipath); err != nil {
 			return nil, err
 		}
@@ -101,6 +104,25 @@ func Configure(net *fabric.Network, opts Options) (*routing.FA, error) {
 		}
 	}
 	return fa, nil
+}
+
+// buildEngine constructs and verifies the routing engine for one
+// topology per the options: the configured family builder, or the
+// up*/down* default. Verification (escape-CDG acyclicity) always runs
+// before any table is written.
+func buildEngine(topo *topology.Topology, opts Options) (routing.Engine, error) {
+	build := opts.Engine
+	if build == nil {
+		build = routing.UpDownBuilder(opts.Root)
+	}
+	eng, err := build(topo)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Verify(); err != nil {
+		return nil, err
+	}
+	return eng, nil
 }
 
 // configureMultipath programs k alternative deterministic up*/down*

@@ -33,21 +33,11 @@ func Reconfigure(net *fabric.Network, opts Options, failed ...topology.Link) (*r
 		return nil, fmt.Errorf("subnet: failures disconnect the network")
 	}
 
-	var ud *routing.UpDown
-	var err error
-	if opts.Root >= 0 {
-		ud, err = routing.NewUpDownRooted(reduced, opts.Root)
-	} else {
-		ud, err = routing.NewUpDown(reduced)
-	}
+	eng, err := buildEngine(reduced, opts)
 	if err != nil {
 		return nil, err
 	}
-	det := ud.Tables()
-	if err := routing.VerifyDeadlockFree(det); err != nil {
-		return nil, err
-	}
-	fa := routing.NewFA(det)
+	fa := eng.Adaptive()
 
 	block := net.Plan.RangeSize()
 	mr := opts.MaxRoutingOptions

@@ -1,0 +1,161 @@
+package topology
+
+import "fmt"
+
+// FatTreeSpec describes a k-ary n-tree: n levels of k^(n-1) switches,
+// k^n hosts attached to the level-0 (leaf) switches, every switch
+// with k down ports and k up ports (2k ports total; the root level
+// leaves its up ports unwired). This is the structured fabric the
+// related work evaluates D-mod-K and adaptive routing on
+// (Rocher-Gonzalez et al.).
+type FatTreeSpec struct {
+	Arity  int // k: down links (and hosts per leaf)
+	Levels int // n: tree levels, >= 2
+}
+
+// NumSwitches returns n * k^(n-1).
+func (s FatTreeSpec) NumSwitches() int { return s.Levels * pow(s.Arity, s.Levels-1) }
+
+// NumHosts returns k^n.
+func (s FatTreeSpec) NumHosts() int { return pow(s.Arity, s.Levels) }
+
+// SwitchesPerLevel returns k^(n-1).
+func (s FatTreeSpec) SwitchesPerLevel() int { return pow(s.Arity, s.Levels-1) }
+
+// Validate rejects degenerate shapes.
+func (s FatTreeSpec) Validate() error {
+	if s.Arity < 2 || s.Levels < 2 {
+		return fmt.Errorf("topology: fat-tree needs arity >= 2 and levels >= 2, got k=%d n=%d", s.Arity, s.Levels)
+	}
+	// Bound the size with overflow-safe arithmetic: computing
+	// NumSwitches() first would wrap for huge shapes and slip past
+	// the cap (found by FuzzFatTreeTopology).
+	const limit = 1 << 16
+	size := s.Levels
+	for i := 0; i < s.Levels-1; i++ {
+		if size > limit/s.Arity {
+			return fmt.Errorf("topology: fat-tree k=%d n=%d exceeds %d switches (too large)", s.Arity, s.Levels, limit)
+		}
+		size *= s.Arity
+	}
+	if size > limit {
+		return fmt.Errorf("topology: fat-tree k=%d n=%d has %d switches (too large)", s.Arity, s.Levels, size)
+	}
+	return nil
+}
+
+// String renders the spec in the -topo flag grammar.
+func (s FatTreeSpec) String() string { return fmt.Sprintf("fattree:%d,%d", s.Arity, s.Levels) }
+
+// Switch identity: a switch is (level l, position w) with l in
+// [0, n) — level 0 is the leaf row, level n-1 the root row — and w in
+// [0, k^(n-1)). Written in base k, w has digits w_0..w_{n-2}. The
+// switch ID is l*k^(n-1) + w.
+//
+// Wiring rule: <l, w> and <l+1, w'> are connected iff their digits
+// agree everywhere except position l, which is free. Each switch thus
+// has exactly k up neighbours (vary digit l from level l) and k down
+// neighbours (vary digit l seen from level l+1); ascending from a leaf
+// can rewrite digits 0..n-2 one per level, so every root is reachable
+// from every leaf and the graph is connected.
+
+// SwitchID returns the ID of the switch at (level, pos).
+func (s FatTreeSpec) SwitchID(level, pos int) int { return level*s.SwitchesPerLevel() + pos }
+
+// SwitchLevel returns the level of a switch ID.
+func (s FatTreeSpec) SwitchLevel(id int) int { return id / s.SwitchesPerLevel() }
+
+// SwitchPos returns the within-level position of a switch ID.
+func (s FatTreeSpec) SwitchPos(id int) int { return id % s.SwitchesPerLevel() }
+
+// Digit returns digit i (base k) of the within-level position of id.
+func (s FatTreeSpec) Digit(id, i int) int { return s.SwitchPos(id) / pow(s.Arity, i) % s.Arity }
+
+// SetDigit returns the within-level position pos with digit i set to v.
+func (s FatTreeSpec) SetDigit(pos, i, v int) int {
+	p := pow(s.Arity, i)
+	return pos + (v-pos/p%s.Arity)*p
+}
+
+// Name renders a switch as "Ll.d_{n-2}..d_0" — level and base-k
+// digits, the family-aware label diagnostics use.
+func (s FatTreeSpec) Name(id int) string {
+	out := fmt.Sprintf("L%d.", s.SwitchLevel(id))
+	for i := s.Levels - 2; i >= 0; i-- {
+		out += fmt.Sprintf("%d", s.Digit(id, i))
+	}
+	return out
+}
+
+// GenerateFatTree builds the k-ary n-tree topology: hosts attach only
+// to the leaf row (k per leaf), SwitchPorts is 2k for every switch.
+func GenerateFatTree(spec FatTreeSpec) (*Topology, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	k, n := spec.Arity, spec.Levels
+	perLevel := spec.SwitchesPerLevel()
+	t := New(spec.NumSwitches(), 0, 2*k)
+	t.HostsAt = make([]int, t.NumSwitches)
+	t.Names = make([]string, t.NumSwitches)
+	for id := 0; id < t.NumSwitches; id++ {
+		t.Names[id] = spec.Name(id)
+		if spec.SwitchLevel(id) == 0 {
+			t.HostsAt[id] = k
+		}
+	}
+	for l := 0; l+1 < n; l++ {
+		for w := 0; w < perLevel; w++ {
+			for v := 0; v < k; v++ {
+				up := spec.SetDigit(w, l, v)
+				if err := t.AddLink(spec.SwitchID(l, w), spec.SwitchID(l+1, up)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MatchesFatTree reports whether topo is exactly the pristine fabric
+// GenerateFatTree(spec) produces — same shape, same link set. Routing
+// engines use it to detect a degraded fabric (failed links) and fall
+// back to a topology-agnostic escape routing.
+func MatchesFatTree(topo *Topology, spec FatTreeSpec) bool {
+	pristine, err := GenerateFatTree(spec)
+	if err != nil {
+		return false
+	}
+	return sameShape(topo, pristine)
+}
+
+// sameShape reports structural equality: switch count, host
+// attachment, and link set.
+func sameShape(a, b *Topology) bool {
+	if a.NumSwitches != b.NumSwitches || a.NumHosts() != b.NumHosts() || len(a.Links) != len(b.Links) {
+		return false
+	}
+	for s := 0; s < a.NumSwitches; s++ {
+		if a.HostCount(s) != b.HostCount(s) {
+			return false
+		}
+	}
+	for _, l := range b.Links {
+		if !a.HasLink(l.A, l.B) {
+			return false
+		}
+	}
+	return true
+}
+
+// pow is integer exponentiation for the small shape arithmetic above.
+func pow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}

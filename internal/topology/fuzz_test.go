@@ -58,3 +58,118 @@ func FuzzIrregularTopology(f *testing.F) {
 		}
 	})
 }
+
+// checkFamily runs the structural and routing properties every
+// generated fabric must satisfy regardless of family: a valid,
+// connected graph whose family engine produces legal escape tables
+// with an acyclic escape CDG (checked through FindCycle directly, the
+// same walk VerifyDeadlockFree wraps) and valid adaptive options.
+func checkFamily(t *testing.T, topo *topology.Topology, build routing.Builder, engine string) {
+	t.Helper()
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !topo.Connected() {
+		t.Fatal("disconnected")
+	}
+	eng, err := build(topo)
+	if err != nil {
+		t.Fatalf("engine build failed: %v", err)
+	}
+	if eng.Name() != engine {
+		t.Fatalf("pristine fabric built engine %q, want %q", eng.Name(), engine)
+	}
+	det := eng.Deterministic()
+	if cycle := routing.FindCycle(routing.EscapeCDG(det)); cycle != nil {
+		t.Fatalf("escape CDG cyclic:%s",
+			routing.FormatCycleNamed(cycle, topo.NumSwitches, topo.NodeName))
+	}
+	if err := det.Validate(); err != nil {
+		t.Fatalf("escape tables invalid: %v", err)
+	}
+	if err := eng.Adaptive().Validate(); err != nil {
+		t.Fatalf("adaptive options invalid: %v", err)
+	}
+}
+
+// FuzzFatTreeTopology fuzzes the k-ary n-tree generator over its shape
+// envelope: every (arity, levels) pair must produce a connected fabric
+// with hosts only on the leaf row, the expected per-row link structure,
+// and acyclic D-mod-K escape tables. The corpus replays the shapes the
+// conformance suite pins.
+func FuzzFatTreeTopology(f *testing.F) {
+	f.Add(2, 2)
+	f.Add(2, 3)
+	f.Add(3, 2)
+	f.Add(3, 3)
+	f.Fuzz(func(t *testing.T, arity, levels int) {
+		spec := topology.FatTreeSpec{Arity: arity, Levels: levels}
+		if spec.Validate() != nil || spec.NumSwitches() > 300 {
+			t.Skip("outside the fuzz envelope")
+		}
+		topo, err := topology.GenerateFatTree(spec)
+		if err != nil {
+			t.Fatalf("feasible spec %v rejected: %v", spec, err)
+		}
+		for id := 0; id < topo.NumSwitches; id++ {
+			wantHosts := 0
+			if spec.SwitchLevel(id) == 0 {
+				wantHosts = arity
+			}
+			if got := topo.HostCount(id); got != wantHosts {
+				t.Fatalf("switch %s has %d hosts, want %d", spec.Name(id), got, wantHosts)
+			}
+			wantDeg := 2 * arity // k up + k down
+			if l := spec.SwitchLevel(id); l == 0 || l == levels-1 {
+				wantDeg = arity // leaves have no down links, roots no up links
+			}
+			if got := topo.Degree(id); got != wantDeg {
+				t.Fatalf("switch %s degree %d, want %d", spec.Name(id), got, wantDeg)
+			}
+		}
+		checkFamily(t, topo, routing.FatTreeBuilder(spec), "fattree")
+	})
+}
+
+// FuzzTorusTopology fuzzes the torus generator over 2D and 3D shapes
+// with varying host attachment: every shape must produce a connected
+// fabric whose dimension-order escape tables are acyclic — including
+// the size-2 dimensions where mesh and wrap edges collapse into one
+// link. dimZ <= 1 selects a 2D torus.
+func FuzzTorusTopology(f *testing.F) {
+	f.Add(4, 4, 0, 1)
+	f.Add(3, 5, 0, 2)
+	f.Add(2, 3, 4, 1)
+	f.Add(2, 2, 2, 1)
+	f.Fuzz(func(t *testing.T, dimX, dimY, dimZ, hosts int) {
+		dims := []int{dimX, dimY}
+		if dimZ > 1 {
+			dims = append(dims, dimZ)
+		}
+		spec := topology.TorusSpec{Dims: dims, HostsPerSwitch: hosts}
+		if spec.Validate() != nil || spec.NumSwitches() > 300 || hosts > 4 {
+			t.Skip("outside the fuzz envelope")
+		}
+		topo, err := topology.GenerateTorus(spec)
+		if err != nil {
+			t.Fatalf("feasible spec %v rejected: %v", spec, err)
+		}
+		wantDeg := 0
+		for _, d := range dims {
+			if d == 2 {
+				wantDeg++ // mesh and wrap edge are the same cable
+			} else {
+				wantDeg += 2
+			}
+		}
+		for id := 0; id < topo.NumSwitches; id++ {
+			if got := topo.Degree(id); got != wantDeg {
+				t.Fatalf("switch %s degree %d, want %d", spec.Name(id), got, wantDeg)
+			}
+			if got := topo.HostCount(id); got != hosts {
+				t.Fatalf("switch %s has %d hosts, want %d", spec.Name(id), got, hosts)
+			}
+		}
+		checkFamily(t, topo, routing.TorusBuilder(spec), "torus")
+	})
+}

@@ -18,10 +18,17 @@ type Link struct {
 	A, B int
 }
 
-// Topology describes a subnet: NumSwitches switches, HostsPerSwitch
-// end-node ports attached to every switch, and the inter-switch links.
-// Switch IDs are 0..NumSwitches-1. Host h (0..NumHosts-1) is attached
-// to switch h / HostsPerSwitch.
+// Topology describes a subnet: NumSwitches switches, end-node ports
+// attached to switches, and the inter-switch links. Switch IDs are
+// 0..NumSwitches-1.
+//
+// Host attachment comes in two shapes. The uniform shape (HostsAt nil)
+// attaches HostsPerSwitch hosts to every switch, so host h lives on
+// switch h / HostsPerSwitch — the paper's irregular networks and the
+// torus family. The explicit shape (HostsAt non-nil) gives every
+// switch its own host count — fat-trees, where only leaf switches
+// carry hosts. Host IDs are dense either way: switch s owns hosts
+// [hostBase(s), hostBase(s)+HostCount(s)).
 type Topology struct {
 	NumSwitches    int
 	HostsPerSwitch int
@@ -30,7 +37,18 @@ type Topology struct {
 	SwitchPorts int
 	Links       []Link
 
-	adj [][]int // adjacency lists, built lazily by Adjacency
+	// HostsAt, when non-nil, overrides the uniform host attachment:
+	// HostsAt[s] hosts sit on switch s. Its length must equal
+	// NumSwitches. HostsPerSwitch is ignored when set.
+	HostsAt []int
+
+	// Names, when non-nil, gives every switch a family-aware label
+	// (tree level/position, torus coordinates) used by diagnostics:
+	// cycle reports, DOT output, the ibtopo report.
+	Names []string
+
+	adj      [][]int // adjacency lists, built lazily by Adjacency
+	hostBase []int   // prefix sums over HostsAt, built lazily
 }
 
 // New returns a topology with the given shape and no links.
@@ -43,18 +61,94 @@ func New(numSwitches, hostsPerSwitch, switchPorts int) *Topology {
 }
 
 // NumHosts returns the total number of end-node ports in the subnet.
-func (t *Topology) NumHosts() int { return t.NumSwitches * t.HostsPerSwitch }
+func (t *Topology) NumHosts() int {
+	if t.HostsAt == nil {
+		return t.NumSwitches * t.HostsPerSwitch
+	}
+	base := t.hostBases()
+	return base[len(base)-1]
+}
+
+// hostBases returns the cached prefix sums of HostsAt: hostBase[s] is
+// the first host ID on switch s and hostBase[NumSwitches] the total.
+// Only meaningful with explicit attachment (HostsAt non-nil).
+func (t *Topology) hostBases() []int {
+	if t.hostBase != nil {
+		return t.hostBase
+	}
+	base := make([]int, t.NumSwitches+1)
+	for s, h := range t.HostsAt {
+		base[s+1] = base[s] + h
+	}
+	t.hostBase = base
+	return base
+}
+
+// HostCount returns the number of hosts attached to switch s.
+func (t *Topology) HostCount(s int) int {
+	if t.HostsAt == nil {
+		return t.HostsPerSwitch
+	}
+	return t.HostsAt[s]
+}
 
 // HostSwitch returns the switch a host is attached to.
-func (t *Topology) HostSwitch(host int) int { return host / t.HostsPerSwitch }
+func (t *Topology) HostSwitch(host int) int {
+	if t.HostsAt == nil {
+		return host / t.HostsPerSwitch
+	}
+	base := t.hostBases()
+	// Binary search the prefix sums: the switch whose range holds host.
+	lo, hi := 0, t.NumSwitches-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if base[mid+1] <= host {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// HostPortIndex returns the index of the host among its switch's
+// hosts, which is also the switch port the host occupies (host ports
+// come first: 0..HostCount-1, inter-switch ports follow).
+func (t *Topology) HostPortIndex(host int) int {
+	if t.HostsAt == nil {
+		return host % t.HostsPerSwitch
+	}
+	return host - t.hostBases()[t.HostSwitch(host)]
+}
+
+// InterSwitchPortBase returns the first inter-switch port index of
+// switch s: its host ports occupy 0..InterSwitchPortBase-1.
+func (t *Topology) InterSwitchPortBase(s int) int { return t.HostCount(s) }
 
 // SwitchHosts returns the host IDs attached to switch s.
 func (t *Topology) SwitchHosts(s int) []int {
-	out := make([]int, t.HostsPerSwitch)
+	if t.HostsAt == nil {
+		out := make([]int, t.HostsPerSwitch)
+		for i := range out {
+			out[i] = s*t.HostsPerSwitch + i
+		}
+		return out
+	}
+	base := t.hostBases()
+	out := make([]int, t.HostsAt[s])
 	for i := range out {
-		out[i] = s*t.HostsPerSwitch + i
+		out[i] = base[s] + i
 	}
 	return out
+}
+
+// NodeName returns the family-aware label of switch s, falling back
+// to the bare switch ID when the topology carries no names.
+func (t *Topology) NodeName(s int) string {
+	if t.Names != nil && s >= 0 && s < len(t.Names) {
+		return t.Names[s]
+	}
+	return fmt.Sprintf("%d", s)
 }
 
 // AddLink inserts the undirected link (a, b). It returns an error if
@@ -73,9 +167,9 @@ func (t *Topology) AddLink(a, b int) error {
 	if t.HasLink(a, b) {
 		return fmt.Errorf("topology: duplicate link (%d,%d)", a, b)
 	}
-	budget := t.SwitchPorts - t.HostsPerSwitch
-	if t.Degree(a) >= budget || t.Degree(b) >= budget {
-		return fmt.Errorf("topology: link (%d,%d) exceeds port budget %d", a, b, budget)
+	if t.Degree(a) >= t.SwitchPorts-t.HostCount(a) || t.Degree(b) >= t.SwitchPorts-t.HostCount(b) {
+		return fmt.Errorf("topology: link (%d,%d) exceeds port budget %d/%d",
+			a, b, t.SwitchPorts-t.HostCount(a), t.SwitchPorts-t.HostCount(b))
 	}
 	t.Links = append(t.Links, Link{A: a, B: b})
 	t.adj = nil
@@ -161,9 +255,19 @@ func (t *Topology) Validate() error {
 	if t.NumSwitches <= 0 {
 		return fmt.Errorf("topology: %d switches", t.NumSwitches)
 	}
-	if t.HostsPerSwitch < 0 || t.SwitchPorts < t.HostsPerSwitch {
-		return fmt.Errorf("topology: %d ports cannot host %d end nodes",
-			t.SwitchPorts, t.HostsPerSwitch)
+	if t.HostsAt != nil && len(t.HostsAt) != t.NumSwitches {
+		return fmt.Errorf("topology: HostsAt has %d entries for %d switches",
+			len(t.HostsAt), t.NumSwitches)
+	}
+	if t.Names != nil && len(t.Names) != t.NumSwitches {
+		return fmt.Errorf("topology: Names has %d entries for %d switches",
+			len(t.Names), t.NumSwitches)
+	}
+	for s := 0; s < t.NumSwitches; s++ {
+		if h := t.HostCount(s); h < 0 || t.SwitchPorts < h {
+			return fmt.Errorf("topology: switch %d: %d ports cannot host %d end nodes",
+				s, t.SwitchPorts, h)
+		}
 	}
 	seen := map[Link]bool{}
 	for _, l := range t.Links {
@@ -175,9 +279,8 @@ func (t *Topology) Validate() error {
 		}
 		seen[l] = true
 	}
-	budget := t.SwitchPorts - t.HostsPerSwitch
 	for s := 0; s < t.NumSwitches; s++ {
-		if d := t.Degree(s); d > budget {
+		if d, budget := t.Degree(s), t.SwitchPorts-t.HostCount(s); d > budget {
 			return fmt.Errorf("topology: switch %d degree %d exceeds budget %d", s, d, budget)
 		}
 	}
@@ -201,6 +304,8 @@ func (t *Topology) Without(failed ...Link) *Topology {
 		dead[l] = true
 	}
 	out := New(t.NumSwitches, t.HostsPerSwitch, t.SwitchPorts)
+	out.HostsAt = t.HostsAt
+	out.Names = t.Names
 	for _, l := range t.Links {
 		if !dead[l] {
 			out.Links = append(out.Links, l)

@@ -1,0 +1,158 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TorusSpec describes a 2D/3D torus: Dims[i] switches along dimension
+// i, neighbours at ±1 in each dimension with wraparound, and
+// HostsPerSwitch hosts on every switch (tori attach compute uniformly,
+// unlike fat-trees). This is the structured fabric the OutFlank line
+// of related work evaluates adaptive deadlock-free routing on.
+type TorusSpec struct {
+	Dims           []int // 2 or 3 entries, each >= 2
+	HostsPerSwitch int
+}
+
+// NumSwitches returns the product of the dimensions.
+func (s TorusSpec) NumSwitches() int {
+	out := 1
+	for _, d := range s.Dims {
+		out *= d
+	}
+	return out
+}
+
+// Validate rejects degenerate shapes.
+func (s TorusSpec) Validate() error {
+	if len(s.Dims) != 2 && len(s.Dims) != 3 {
+		return fmt.Errorf("topology: torus needs 2 or 3 dimensions, got %v", s.Dims)
+	}
+	for _, d := range s.Dims {
+		if d < 2 {
+			return fmt.Errorf("topology: torus dimension %d < 2 in %v", d, s.Dims)
+		}
+	}
+	if s.HostsPerSwitch < 1 {
+		return fmt.Errorf("topology: torus needs >= 1 host/switch, got %d", s.HostsPerSwitch)
+	}
+	// Overflow-safe size bound: the raw product of three fuzz-sized
+	// dimensions can wrap and slip past the cap.
+	const limit = 1 << 16
+	size := 1
+	for _, d := range s.Dims {
+		if size > limit/d {
+			return fmt.Errorf("topology: torus %v exceeds %d switches (too large)", s.Dims, limit)
+		}
+		size *= d
+	}
+	return nil
+}
+
+// String renders the spec in the -topo flag grammar ("torus:4x4x2").
+func (s TorusSpec) String() string {
+	parts := make([]string, len(s.Dims))
+	for i, d := range s.Dims {
+		parts[i] = fmt.Sprintf("%d", d)
+	}
+	return "torus:" + strings.Join(parts, "x")
+}
+
+// SwitchID maps coordinates to a switch ID (dimension 0 fastest).
+func (s TorusSpec) SwitchID(coord []int) int {
+	id, stride := 0, 1
+	for i, c := range coord {
+		id += c * stride
+		stride *= s.Dims[i]
+	}
+	return id
+}
+
+// Coord returns the coordinates of a switch ID.
+func (s TorusSpec) Coord(id int) []int {
+	out := make([]int, len(s.Dims))
+	for i, d := range s.Dims {
+		out[i] = id % d
+		id /= d
+	}
+	return out
+}
+
+// Name renders a switch as "(x,y)" / "(x,y,z)".
+func (s TorusSpec) Name(id int) string {
+	c := s.Coord(id)
+	parts := make([]string, len(c))
+	for i, v := range c {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// IsWrapLink reports whether the link crosses a dimension's wraparound
+// boundary (coordinate max back to 0). The torus escape routing avoids
+// these links; adaptive options use them freely.
+func (s TorusSpec) IsWrapLink(a, b int) bool {
+	ca, cb := s.Coord(a), s.Coord(b)
+	for i := range ca {
+		if ca[i] != cb[i] {
+			lo, hi := ca[i], cb[i]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			return lo == 0 && hi == s.Dims[i]-1 && s.Dims[i] > 2
+		}
+	}
+	return false
+}
+
+// GenerateTorus builds the torus: every switch links to its ±1
+// neighbour in each dimension, with the wrap link closing each ring.
+// Dimensions of size 2 contribute a single link (the mesh edge and the
+// wrap edge would be the same cable; IBA forbids duplicate links).
+func GenerateTorus(spec TorusSpec) (*Topology, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	degree := 0
+	for _, d := range spec.Dims {
+		if d == 2 {
+			degree++
+		} else {
+			degree += 2
+		}
+	}
+	t := New(spec.NumSwitches(), spec.HostsPerSwitch, spec.HostsPerSwitch+degree)
+	t.Names = make([]string, t.NumSwitches)
+	for id := 0; id < t.NumSwitches; id++ {
+		t.Names[id] = spec.Name(id)
+	}
+	for id := 0; id < t.NumSwitches; id++ {
+		coord := spec.Coord(id)
+		for i, d := range spec.Dims {
+			next := make([]int, len(coord))
+			copy(next, coord)
+			next[i] = (coord[i] + 1) % d
+			n := spec.SwitchID(next)
+			if !t.HasLink(id, n) {
+				if err := t.AddLink(id, n); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MatchesTorus reports whether topo is exactly the pristine fabric
+// GenerateTorus(spec) produces.
+func MatchesTorus(topo *Topology, spec TorusSpec) bool {
+	pristine, err := GenerateTorus(spec)
+	if err != nil {
+		return false
+	}
+	return sameShape(topo, pristine)
+}

@@ -48,6 +48,15 @@ func (c Config) OfferedPerSwitch(hostsPerSwitch int) float64 {
 	return c.LoadBytesPerNsPerHost * float64(hostsPerSwitch)
 }
 
+// OfferedPerSwitchAvg is OfferedPerSwitch for non-uniform host
+// attachment: avgHosts is NumHosts/NumSwitches (fat-trees put hosts
+// only on the leaf row, so the average is fractional). For uniform
+// topologies the average is the exact integer and the result is
+// bit-identical to OfferedPerSwitch.
+func (c Config) OfferedPerSwitchAvg(avgHosts float64) float64 {
+	return c.LoadBytesPerNsPerHost * avgHosts
+}
+
 // Generator drives packet creation on every host of a network until a
 // stop time.
 type Generator struct {

@@ -61,6 +61,20 @@ go test -count=1 -run 'TestMutation' -v ./internal/check/
 echo "==> topology fuzz corpus (Figure 3 geometries route deadlock-free)"
 go test -run '^$' -fuzz 'FuzzIrregularTopology' -fuzztime 5s ./internal/topology/
 
+echo "==> cross-family fuzz smoke (fat-tree and torus escape CDGs stay acyclic)"
+go test -run '^$' -fuzz 'FuzzFatTreeTopology' -fuzztime 5s ./internal/topology/
+go test -run '^$' -fuzz 'FuzzTorusTopology' -fuzztime 5s ./internal/topology/
+
+echo "==> cross-family differential (fat-tree + torus goldens: sequential vs shard vs -check vs unfused)"
+# Engine conformance pins each family's routing contract; the sweep
+# goldens pin the simulations bit-exactly across execution strategies,
+# with the shard arm forced onto real worker goroutines.
+go test -count=1 -run 'TestEngineConformance|TestTorusEscapeAvoidsWraps|TestStructuredBuildersDegradeToUpDown' -v ./internal/routing/
+GOMAXPROCS=4 go test -race -count=1 \
+  -run 'TestFamilySweepsDeterministic|TestFamilySweepsEngineInvariant' -v ./internal/experiments/
+go test -count=1 -run 'TestMetamorphicLMCInvarianceFamilies' -v ./internal/check/
+go test -count=1 -run 'TestFamilyReportGolden|TestFamilyDotOutput' -v ./cmd/ibtopo/
+
 echo "==> scheduler equivalence (calendar vs heap differential)"
 go test -run 'TestEventQueueDifferential|TestEngineSchedulersEquivalent' -v ./internal/sim/
 
